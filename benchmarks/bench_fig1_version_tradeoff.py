@@ -1,0 +1,54 @@
+"""FIG1 — service-version accuracy vs latency (paper Fig. 1).
+
+Regenerates the per-version operating points (mean error, mean latency,
+Pareto membership) for the ASR service (7 beam-search configurations) and
+the image-classification service on CPU and GPU (5 CNNs each).
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import format_table, version_pareto
+
+
+def _rows(measurements):
+    return [
+        {
+            "version": point.version,
+            "mean_error": point.mean_error,
+            "mean_latency_s": point.mean_latency_s,
+            "pareto_optimal": point.on_frontier,
+        }
+        for point in version_pareto(measurements)
+    ]
+
+
+def test_fig1_version_tradeoff(
+    benchmark, asr_measurements, ic_cpu_measurements, ic_gpu_measurements
+):
+    services = {
+        "asr": asr_measurements,
+        "ic_cpu": ic_cpu_measurements,
+        "ic_gpu": ic_gpu_measurements,
+    }
+    result = benchmark(lambda: {name: _rows(ms) for name, ms in services.items()})
+
+    for name, rows in result.items():
+        print()
+        print(
+            format_table(
+                ["version", "error", "latency (s)", "Pareto"],
+                [
+                    [r["version"], r["mean_error"], r["mean_latency_s"], r["pareto_optimal"]]
+                    for r in rows
+                ],
+                title=f"FIG1 [{name}] accuracy-latency operating points",
+            )
+        )
+        # the trade-off must exist: the most accurate version is slower than
+        # the fastest one
+        errors = [r["mean_error"] for r in rows]
+        latencies = [r["mean_latency_s"] for r in rows]
+        assert latencies[0] == min(latencies)
+        assert min(errors) < errors[0]
+
+    save_artifact("fig1_version_tradeoff", result)

@@ -1,0 +1,43 @@
+"""FIG2EF — request category breakdown (paper Fig. 2e-f).
+
+Regenerates the unchanged / improves / degrades / varies shares for the ASR
+and image-classification services.  The paper reports the unchanged
+category dominating (>74 % ASR, >65 % IC) with a substantial improves
+share (>15 %); the benchmark asserts the same qualitative structure.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import CATEGORY_NAMES, categorize_requests, format_table
+
+
+def test_fig2_categories(benchmark, asr_measurements, ic_cpu_measurements):
+    services = {"asr": asr_measurements, "ic_cpu": ic_cpu_measurements}
+    result = benchmark(
+        lambda: {
+            name: categorize_requests(ms, tolerance=1e-6).shares()
+            for name, ms in services.items()
+        }
+    )
+
+    rows = [
+        [name] + [shares[category] for category in CATEGORY_NAMES]
+        for name, shares in result.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["service", *CATEGORY_NAMES],
+            rows,
+            title="FIG2e-f request category shares",
+        )
+    )
+
+    for name, shares in result.items():
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        # unchanged is the largest category, as in the paper
+        assert shares["unchanged"] == max(shares.values())
+        # a meaningful fraction of requests improves with better versions
+        assert shares["improves"] > 0.05
+
+    save_artifact("fig2_categories", result)

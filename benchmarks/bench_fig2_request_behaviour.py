@@ -1,0 +1,36 @@
+"""FIG2AB — per-request latency behaviour across versions (paper Fig. 2a-d).
+
+Regenerates the per-version latency distributions (percentiles) that show
+how the latency cost of more accurate versions is paid by *every* request.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import format_table, latency_percentiles
+
+
+def test_fig2_request_behaviour(benchmark, asr_measurements, ic_cpu_measurements):
+    services = {"asr": asr_measurements, "ic_cpu": ic_cpu_measurements}
+    result = benchmark(
+        lambda: {name: latency_percentiles(ms) for name, ms in services.items()}
+    )
+
+    for name, table in result.items():
+        rows = [
+            [version, stats["p50"], stats["p90"], stats["p99"]]
+            for version, stats in table.items()
+        ]
+        print()
+        print(
+            format_table(
+                ["version", "p50 (s)", "p90 (s)", "p99 (s)"],
+                rows,
+                title=f"FIG2a-d [{name}] per-request latency distribution",
+            )
+        )
+        # distributions must be ordered: p50 of the slowest version exceeds
+        # the p50 of the fastest version
+        p50s = [stats["p50"] for stats in table.values()]
+        assert max(p50s) > min(p50s)
+
+    save_artifact("fig2_request_behaviour", result)

@@ -1,0 +1,46 @@
+"""FIG3 — error per request category across versions (paper Fig. 3a-b).
+
+Regenerates, for each service, the mean error of the improves / degrades /
+varies categories (plus the "all" group) under every service version.  The
+paper's takeaway — overall error improves with more accurate versions, and
+the improves category drives it — is asserted explicitly.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import error_by_category, format_table
+
+
+def test_fig3_error_by_category(benchmark, asr_measurements, ic_cpu_measurements):
+    services = {"asr": asr_measurements, "ic_cpu": ic_cpu_measurements}
+    result = benchmark(
+        lambda: {name: error_by_category(ms) for name, ms in services.items()}
+    )
+
+    for name, groups in result.items():
+        measurements = services[name]
+        versions = list(measurements.versions)
+        rows = [
+            [group] + [values[v] for v in versions] for group, values in groups.items()
+        ]
+        print()
+        print(
+            format_table(
+                ["category", *versions],
+                rows,
+                title=f"FIG3 [{name}] error per category across versions",
+                float_format=".3f",
+            )
+        )
+        # overall error must improve from the fastest to the most accurate
+        # version (the paper's "all" bars)
+        all_errors = groups["all"]
+        assert all_errors[measurements.most_accurate_version()] < all_errors[
+            measurements.fastest_version()
+        ]
+        # the improves category improves monotonically in the version order
+        if "improves" in groups:
+            improves = [groups["improves"][v] for v in versions]
+            assert improves[-1] <= improves[0]
+
+    save_artifact("fig3_error_by_category", result)

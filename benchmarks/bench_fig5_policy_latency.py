@@ -1,0 +1,83 @@
+"""FIG5 — ensembling policies vs OSFA: response-time view (paper Fig. 5).
+
+Compares the sequential, concurrent and early-termination ensembles (fast
+version + most accurate version, mid confidence threshold) against the
+"one size fits all" baseline on mean response time, escalation rate and
+error degradation, for the ASR and IC services.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.core import (
+    ConcurrentPolicy,
+    EarlyTerminationPolicy,
+    SequentialPolicy,
+    SingleVersionPolicy,
+    evaluate_policy,
+)
+
+THRESHOLD = 0.55
+FAST = {"asr": "asr_v4", "ic_cpu": "ic_cpu_squeezenet"}
+
+
+def _policy_metrics(measurements, fast):
+    accurate = measurements.most_accurate_version()
+    policies = {
+        "osfa": SingleVersionPolicy(accurate),
+        "fast-only": SingleVersionPolicy(fast),
+        "seq": SequentialPolicy(fast, accurate, THRESHOLD),
+        "conc": ConcurrentPolicy(fast, accurate, THRESHOLD),
+        "et": EarlyTerminationPolicy(fast, accurate, THRESHOLD),
+    }
+    return {
+        name: evaluate_policy(measurements, policy) for name, policy in policies.items()
+    }
+
+
+def test_fig5_policy_latency(benchmark, asr_measurements, ic_cpu_measurements):
+    services = {"asr": asr_measurements, "ic_cpu": ic_cpu_measurements}
+    result = benchmark(
+        lambda: {
+            name: _policy_metrics(ms, FAST[name]) for name, ms in services.items()
+        }
+    )
+
+    payload = {}
+    for name, metrics in result.items():
+        rows = [
+            [
+                policy,
+                m.mean_response_time_s,
+                m.response_time_reduction,
+                m.escalation_rate,
+                m.error_degradation,
+            ]
+            for policy, m in metrics.items()
+        ]
+        print()
+        print(
+            format_table(
+                ["policy", "mean response (s)", "time saved", "escalated", "degradation"],
+                rows,
+                title=f"FIG5 [{name}] ensembling policies vs OSFA (response time)",
+                float_format=".3f",
+            )
+        )
+        payload[name] = {
+            policy: {
+                "mean_response_time_s": m.mean_response_time_s,
+                "response_time_reduction": m.response_time_reduction,
+                "error_degradation": m.error_degradation,
+            }
+            for policy, m in metrics.items()
+        }
+        # every ensemble must be faster than OSFA and far less degraded than
+        # serving the fast version alone
+        for policy in ("seq", "conc", "et"):
+            assert metrics[policy].response_time_reduction > 0.0
+            assert metrics[policy].error_degradation < metrics["fast-only"].error_degradation
+        # conc/et answer escalated requests faster than seq
+        assert metrics["et"].mean_response_time_s <= metrics["seq"].mean_response_time_s + 1e-9
+
+    save_artifact("fig5_policy_latency", payload)

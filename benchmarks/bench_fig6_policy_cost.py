@@ -1,0 +1,87 @@
+"""FIG6 — ensembling policies vs OSFA: cost view (paper Fig. 6).
+
+Breaks each policy's cost down into the node time spent on the fast versus
+the accurate version, reproducing the paper's discussion that concurrent
+execution wastes money on the accurate version even when its result is
+discarded, and that early termination bounds that waste.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.core import (
+    ConcurrentPolicy,
+    EarlyTerminationPolicy,
+    SequentialPolicy,
+    SingleVersionPolicy,
+)
+from repro.core.metrics import build_pricing
+
+THRESHOLD = 0.55
+FAST = {"asr": "asr_v4", "ic_cpu": "ic_cpu_squeezenet"}
+
+
+def _cost_breakdown(measurements, fast):
+    accurate = measurements.most_accurate_version()
+    pricing = build_pricing(measurements)
+    policies = {
+        "osfa": SingleVersionPolicy(accurate),
+        "seq": SequentialPolicy(fast, accurate, THRESHOLD),
+        "conc": ConcurrentPolicy(fast, accurate, THRESHOLD),
+        "et": EarlyTerminationPolicy(fast, accurate, THRESHOLD),
+    }
+    table = {}
+    for name, policy in policies.items():
+        outcomes = policy.evaluate(measurements)
+        cost = outcomes.cost(pricing)
+        table[name] = {
+            "mean_invocation_cost": cost.invocation_cost / outcomes.n_requests,
+            "iaas_per_version": {
+                version: value / outcomes.n_requests
+                for version, value in cost.per_version_iaas.items()
+            },
+        }
+    return table
+
+
+def test_fig6_policy_cost(benchmark, asr_measurements, ic_cpu_measurements):
+    services = {"asr": asr_measurements, "ic_cpu": ic_cpu_measurements}
+    result = benchmark(
+        lambda: {
+            name: _cost_breakdown(ms, FAST[name]) for name, ms in services.items()
+        }
+    )
+
+    for name, table in result.items():
+        rows = []
+        for policy, entry in table.items():
+            per_version = entry["iaas_per_version"]
+            rows.append(
+                [
+                    policy,
+                    entry["mean_invocation_cost"],
+                    per_version.get(FAST[name], 0.0),
+                    per_version.get(services[name].most_accurate_version(), 0.0),
+                ]
+            )
+        print()
+        print(
+            format_table(
+                ["policy", "invocation cost / req", "fast-version IaaS / req",
+                 "accurate-version IaaS / req"],
+                rows,
+                title=f"FIG6 [{name}] cost breakdown per policy",
+                float_format=".6f",
+            )
+        )
+        # sequential spends the least on the accurate version; concurrent the
+        # most; early termination sits in between
+        accurate = services[name].most_accurate_version()
+        seq_cost = table["seq"]["iaas_per_version"][accurate]
+        et_cost = table["et"]["iaas_per_version"][accurate]
+        conc_cost = table["conc"]["iaas_per_version"][accurate]
+        assert seq_cost <= et_cost <= conc_cost
+        # seq and et bill less than OSFA
+        assert table["seq"]["mean_invocation_cost"] < table["osfa"]["mean_invocation_cost"]
+
+    save_artifact("fig6_policy_cost", result)

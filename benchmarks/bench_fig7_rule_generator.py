@@ -1,0 +1,76 @@
+"""FIG7 — the routing-rule generator itself (paper Fig. 7).
+
+Benchmarks the generator's bootstrap loop on the IC service: how many trials
+the 99.9 % confidence requirement demands per configuration, and which
+configurations the generated rules select for representative tiers under
+both objectives.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.core import RoutingRuleGenerator, enumerate_configurations
+
+
+def test_fig7_rule_generator(benchmark, ic_cpu_measurements):
+    configurations = enumerate_configurations(
+        ic_cpu_measurements,
+        thresholds=(0.4, 0.5, 0.6, 0.7),
+        fast_versions=["ic_cpu_squeezenet", "ic_cpu_googlenet"],
+    )
+
+    def build():
+        generator = RoutingRuleGenerator(
+            ic_cpu_measurements,
+            configurations,
+            confidence=0.999,
+            seed=7,
+            min_trials=10,
+            max_trials=60,
+        )
+        tables = {
+            objective: generator.generate([0.01, 0.05, 0.10], objective)
+            for objective in ("response-time", "cost")
+        }
+        return generator, tables
+
+    generator, tables = benchmark(build)
+
+    trials = [estimate.n_trials for estimate in generator.results]
+    print()
+    print(
+        f"FIG7 bootstrapped {len(generator.results)} configurations: "
+        f"trials mean={np.mean(trials):.1f}, min={min(trials)}, max={max(trials)}"
+    )
+    rows = []
+    payload = {"trials": {"mean": float(np.mean(trials)), "max": int(max(trials))}}
+    for objective, table in tables.items():
+        for tolerance in (0.01, 0.05, 0.10):
+            configuration = table.config_for(tolerance)
+            estimate = table.estimate_for(tolerance)
+            rows.append(
+                [
+                    objective,
+                    f"{tolerance:.0%}",
+                    configuration.name,
+                    estimate.error_degradation if estimate else float("nan"),
+                ]
+            )
+            payload.setdefault(objective, {})[str(tolerance)] = configuration.name
+    print(
+        format_table(
+            ["objective", "tier", "selected configuration", "worst-case degradation"],
+            rows,
+            title="FIG7 generated routing rules",
+            float_format=".4f",
+        )
+    )
+
+    # every selected configuration honours its tier's worst-case bound
+    for objective, table in tables.items():
+        for tolerance, estimate in table.estimates.items():
+            assert estimate.error_degradation <= tolerance + 1e-12
+    assert min(trials) >= 10
+
+    save_artifact("fig7_rule_generator", payload)

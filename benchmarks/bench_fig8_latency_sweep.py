@@ -1,0 +1,92 @@
+"""FIG8 — response-time objective tolerance sweep (paper Section V).
+
+Sweeps tolerances from 0.1 % to 10 % in 0.1 % steps (the paper's grid) for
+the ASR, IC-CPU and IC-GPU services with the response-time objective, and
+reports the latency reduction each tier achieves relative to OSFA together
+with the paper's headline anchor points (19 % @ 1 %, 45 % @ 5 %, 60 % @ 10 %
+averaged across its services).
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.core import evaluate_policy
+from repro.core.tiers import default_tolerance_grid
+
+PAPER_ANCHORS = {0.01: 0.19, 0.05: 0.45, 0.10: 0.60}
+
+
+def _sweep(measurements, generator, tolerances):
+    table = generator.generate(tolerances, "response-time")
+    series = []
+    for tolerance in tolerances:
+        configuration = table.config_for(tolerance)
+        metrics = evaluate_policy(measurements, configuration.policy)
+        series.append(
+            {
+                "tolerance": tolerance,
+                "configuration": configuration.name,
+                "response_time_reduction": metrics.response_time_reduction,
+                "error_degradation": metrics.error_degradation,
+            }
+        )
+    return series
+
+
+def test_fig8_latency_sweep(
+    benchmark,
+    asr_measurements,
+    asr_generator,
+    ic_cpu_measurements,
+    ic_cpu_generator,
+    ic_gpu_measurements,
+    ic_gpu_generator,
+):
+    tolerances = default_tolerance_grid()  # 0.1 % .. 10 % in 0.1 % steps
+    services = {
+        "asr": (asr_measurements, asr_generator),
+        "ic_cpu": (ic_cpu_measurements, ic_cpu_generator),
+        "ic_gpu": (ic_gpu_measurements, ic_gpu_generator),
+    }
+    result = benchmark(
+        lambda: {
+            name: _sweep(ms, gen, tolerances) for name, (ms, gen) in services.items()
+        }
+    )
+
+    rows = []
+    payload = {}
+    for name, series in result.items():
+        by_tolerance = {round(p["tolerance"], 3): p for p in series}
+        payload[name] = series
+        for anchor, paper_value in PAPER_ANCHORS.items():
+            point = by_tolerance[round(anchor, 3)]
+            rows.append(
+                [
+                    name,
+                    f"{anchor:.0%}",
+                    point["response_time_reduction"],
+                    paper_value,
+                    point["error_degradation"],
+                    point["configuration"],
+                ]
+            )
+        # savings never decrease as the tolerance loosens
+        reductions = [p["response_time_reduction"] for p in series]
+        assert all(b >= a - 0.02 for a, b in zip(reductions, reductions[1:]))
+        # degradation always honoured on the training measurements
+        for point in series:
+            assert point["error_degradation"] <= point["tolerance"] + 1e-9
+        # the 10 % tier buys a real latency saving
+        assert by_tolerance[0.1]["response_time_reduction"] > 0.15
+
+    print()
+    print(
+        format_table(
+            ["service", "tier", "time saved", "paper (avg)", "degradation", "configuration"],
+            rows,
+            title="FIG8 latency reduction vs tolerance (response-time objective)",
+            float_format=".3f",
+        )
+    )
+    save_artifact("fig8_latency_sweep", payload)

@@ -1,0 +1,85 @@
+"""FIG9 — cost objective tolerance sweep (paper Section V).
+
+Same tolerance grid as FIG8 but with the invocation-cost objective; the
+paper's anchors are 21 % @ 1 %, 60 % @ 5 % and 70 % @ 10 % cost reduction
+(averaged across its services).
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.core import evaluate_policy
+from repro.core.tiers import default_tolerance_grid
+
+PAPER_ANCHORS = {0.01: 0.21, 0.05: 0.60, 0.10: 0.70}
+
+
+def _sweep(measurements, generator, tolerances):
+    table = generator.generate(tolerances, "cost")
+    series = []
+    for tolerance in tolerances:
+        configuration = table.config_for(tolerance)
+        metrics = evaluate_policy(measurements, configuration.policy)
+        series.append(
+            {
+                "tolerance": tolerance,
+                "configuration": configuration.name,
+                "cost_reduction": metrics.cost_reduction,
+                "error_degradation": metrics.error_degradation,
+            }
+        )
+    return series
+
+
+def test_fig9_cost_sweep(
+    benchmark,
+    asr_measurements,
+    asr_generator,
+    ic_cpu_measurements,
+    ic_cpu_generator,
+    ic_gpu_measurements,
+    ic_gpu_generator,
+):
+    tolerances = default_tolerance_grid()
+    services = {
+        "asr": (asr_measurements, asr_generator),
+        "ic_cpu": (ic_cpu_measurements, ic_cpu_generator),
+        "ic_gpu": (ic_gpu_measurements, ic_gpu_generator),
+    }
+    result = benchmark(
+        lambda: {
+            name: _sweep(ms, gen, tolerances) for name, (ms, gen) in services.items()
+        }
+    )
+
+    rows = []
+    for name, series in result.items():
+        by_tolerance = {round(p["tolerance"], 3): p for p in series}
+        for anchor, paper_value in PAPER_ANCHORS.items():
+            point = by_tolerance[round(anchor, 3)]
+            rows.append(
+                [
+                    name,
+                    f"{anchor:.0%}",
+                    point["cost_reduction"],
+                    paper_value,
+                    point["error_degradation"],
+                    point["configuration"],
+                ]
+            )
+        reductions = [p["cost_reduction"] for p in series]
+        assert all(b >= a - 0.02 for a, b in zip(reductions, reductions[1:]))
+        for point in series:
+            assert point["error_degradation"] <= point["tolerance"] + 1e-9
+        assert by_tolerance[0.1]["cost_reduction"] > 0.05
+
+    print()
+    print(
+        format_table(
+            ["service", "tier", "cost saved", "paper (avg)", "degradation", "configuration"],
+            rows,
+            title="FIG9 invocation-cost reduction vs tolerance (cost objective)",
+            float_format=".3f",
+        )
+    )
+    save_artifact("fig9_cost_sweep", result)

@@ -1,0 +1,106 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md section 4).  The measurement tables and bootstrapped rule
+generators they share are built once per session here; the ASR table (which
+needs real beam-search decodes for 150 utterances x 7 versions) is cached on
+disk under ``results/cache/`` so repeated benchmark runs start instantly.
+
+Each benchmark prints the rows/series its paper artefact reports and writes
+a JSON artefact under ``results/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import RoutingRuleGenerator, enumerate_configurations
+from repro.service import measure_asr_service, measure_ic_service
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+CACHE_DIR = RESULTS_DIR / "cache"
+
+#: Sizes chosen so the whole benchmark suite runs in a few minutes while the
+#: figure shapes remain stable.
+ASR_UTTERANCES = 150
+IC_REQUESTS = 4000
+
+
+def save_artifact(name: str, payload: dict) -> Path:
+    """Write a benchmark's reproduced rows/series to ``results/<name>.json``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=float))
+    return path
+
+
+@pytest.fixture(scope="session")
+def asr_measurements():
+    """ASR measurements (150 utterances x 7 beam-search versions), disk-cached."""
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    return measure_asr_service(
+        n_utterances=ASR_UTTERANCES,
+        seed=20190324,
+        cache_path=CACHE_DIR / f"asr_{ASR_UTTERANCES}.json",
+    )
+
+
+@pytest.fixture(scope="session")
+def ic_cpu_measurements():
+    """Calibrated CPU image-classification measurements."""
+    return measure_ic_service(IC_REQUESTS, device="cpu", seed=2012)
+
+
+@pytest.fixture(scope="session")
+def ic_gpu_measurements():
+    """Calibrated GPU image-classification measurements."""
+    return measure_ic_service(IC_REQUESTS, device="gpu", seed=2012)
+
+
+def _generator(measurements, *, fast_versions, seed):
+    configurations = enumerate_configurations(
+        measurements,
+        thresholds=(0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8),
+        fast_versions=fast_versions,
+    )
+    return RoutingRuleGenerator(
+        measurements,
+        configurations,
+        confidence=0.999,
+        seed=seed,
+        min_trials=10,
+        max_trials=60,
+    )
+
+
+@pytest.fixture(scope="session")
+def asr_generator(asr_measurements):
+    """Bootstrapped rule generator for the ASR service."""
+    return _generator(
+        asr_measurements,
+        fast_versions=["asr_v3", "asr_v4", "asr_v5", "asr_v6"],
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def ic_cpu_generator(ic_cpu_measurements):
+    """Bootstrapped rule generator for the CPU image-classification service."""
+    return _generator(
+        ic_cpu_measurements,
+        fast_versions=["ic_cpu_squeezenet", "ic_cpu_googlenet", "ic_cpu_alexnet"],
+        seed=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def ic_gpu_generator(ic_gpu_measurements):
+    """Bootstrapped rule generator for the GPU image-classification service."""
+    return _generator(
+        ic_gpu_measurements,
+        fast_versions=["ic_gpu_squeezenet", "ic_gpu_googlenet", "ic_gpu_alexnet"],
+        seed=3,
+    )

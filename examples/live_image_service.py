@@ -1,0 +1,149 @@
+"""Live serving scenario: an annotated-request endpoint over real CNNs.
+
+Everything here runs "for real": miniature CNNs are trained with the NumPy
+trainer, wrapped as service versions, deployed as node pools behind a load
+balancer, and fronted by a Tolerance Tiers endpoint.  Consumers then submit
+requests with the paper's ``Tolerance`` / ``Objective`` headers — a photo
+organiser that just wants quick labels uses the 10 % tier, a medical-imaging
+triage app insists on the 0 % tier — and the endpoint escalates between the
+small and large CNN based on the small model's confidence.
+
+Run with::
+
+    python examples/live_image_service.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    RoutingRuleGenerator,
+    TierRouter,
+    ToleranceTiersService,
+    enumerate_configurations,
+)
+from repro.datasets import make_imagenet_surrogate
+from repro.service import (
+    ClusterDeployment,
+    NodePool,
+    Objective,
+    get_instance_type,
+    measure_mini_ic_service,
+)
+from repro.service.node import CallableVersion, VersionResult
+from repro.vision import ImageClassifier, SGDTrainer, TrainingConfig, build_mini_model
+
+
+def train_classifiers(dataset, n_classes):
+    """Train a small and a large miniature CNN on the synthetic images."""
+    classifiers = {}
+    n_train = int(len(dataset) * 0.7)
+    for name, epochs in (("mini_googlenet", 6), ("mini_resnet", 6)):
+        network = build_mini_model(name, dataset.images.shape[1:], n_classes, seed=0)
+        trainer = SGDTrainer(
+            network, TrainingConfig(epochs=epochs, learning_rate=0.08, seed=0)
+        )
+        history = trainer.train(dataset.images[:n_train], dataset.labels[:n_train])
+        print(f"trained {name}: final train accuracy {history[-1]['accuracy']:.2f}")
+        classifiers[name] = ImageClassifier(network, device_gflops=1.0)
+    return classifiers
+
+
+def as_service_version(name, classifier, dataset):
+    """Adapt an ImageClassifier into the cluster's ServiceVersion protocol."""
+
+    def handler(request_id, payload):
+        index = int(payload)
+        image, label = dataset[index]
+        result = classifier.classify(image, label, request_id=request_id)
+        return VersionResult(
+            request_id=request_id,
+            version=name,
+            output=result.predicted_class,
+            error=result.top1_error,
+            confidence=result.confidence,
+            compute_seconds=result.latency_s,
+        )
+
+    return CallableVersion(name, handler)
+
+
+def main() -> None:
+    dataset = make_imagenet_surrogate(n_images=900, n_classes=6, image_size=8, seed=4)
+    classifiers = train_classifiers(dataset, n_classes=6)
+
+    # Offline: measure the miniature service and generate routing rules.
+    # Only the two deployed versions are kept; whichever trained better is
+    # the "accurate" version the other escalates to.
+    measurements = measure_mini_ic_service(
+        n_images=900, n_classes=6, image_size=8, epochs=6, seed=4
+    ).restrict_versions(["mini_googlenet", "mini_resnet"])
+    accurate = measurements.most_accurate_version()
+    fast = next(v for v in measurements.versions if v != accurate)
+    print(f"\ndeployed versions: fast={fast}, accurate={accurate}")
+    configurations = enumerate_configurations(
+        measurements,
+        thresholds=(0.4, 0.5, 0.6, 0.7),
+        fast_versions=[fast],
+        accurate_version=accurate,
+    )
+    generator = RoutingRuleGenerator(
+        measurements, configurations, confidence=0.99, seed=0,
+        min_trials=8, max_trials=40,
+    )
+    router = TierRouter(
+        {
+            Objective.RESPONSE_TIME: generator.generate(
+                [0.01, 0.05, 0.10], Objective.RESPONSE_TIME
+            ),
+            Objective.COST: generator.generate([0.01, 0.05, 0.10], Objective.COST),
+        }
+    )
+
+    # Online: deploy node pools and the annotated-request endpoint.
+    instance = get_instance_type("cpu.medium")
+    cluster = ClusterDeployment(
+        {
+            "mini_googlenet": NodePool(
+                as_service_version("mini_googlenet", classifiers["mini_googlenet"], dataset),
+                instance,
+                n_nodes=2,
+            ),
+            "mini_resnet": NodePool(
+                as_service_version("mini_resnet", classifiers["mini_resnet"], dataset),
+                instance,
+            ),
+        }
+    )
+    service = ToleranceTiersService(cluster, router)
+
+    rng = np.random.default_rng(0)
+    print("\nServing annotated requests (paper Section IV-A):")
+    for consumer, headers in (
+        ("photo-organiser", {"Tolerance": "0.10", "Objective": "response-time"}),
+        ("shopping-app", {"Tolerance": "0.05", "Objective": "cost"}),
+        ("medical-triage", {"Tolerance": "0.0", "Objective": "response-time"}),
+    ):
+        image_index = int(rng.integers(600, 900))
+        response = service.handle_http(
+            request_id=f"{consumer}_{image_index}",
+            payload=image_index,
+            headers=headers,
+        )
+        true_label = int(dataset.labels[image_index])
+        print(
+            f"  {consumer:16s} tier={headers['Tolerance']:>4s}/{headers['Objective']:<13s} "
+            f"versions={'+'.join(response.versions_used):28s} "
+            f"predicted={response.result} (true {true_label})  "
+            f"latency={response.response_time_s * 1000:6.1f} ms  "
+            f"cost=${response.invocation_cost * 1e6:.2f}e-6"
+        )
+
+    print("\nProvider-side IaaS spend per version:")
+    for version, spend in cluster.iaas_spend().items():
+        print(f"  {version}: ${spend * 1e6:.2f}e-6")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: from measurements to Tolerance Tier routing rules.
+
+This walks the full Tolerance Tiers pipeline on the image-classification
+service in under a minute:
+
+1. measure every service version over a batch of representative requests,
+2. inspect the "one size fits all" trade-off those measurements expose,
+3. let the routing-rule generator bootstrap the ensemble design space with
+   statistical confidence, and
+4. read off, for the 1 % / 5 % / 10 % tiers, which ensemble each tier uses
+   and what it saves compared to always serving the most accurate model.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, osfa_limit_summary, version_summaries
+from repro.core import RoutingRuleGenerator, enumerate_configurations, evaluate_policy
+from repro.service import measure_ic_service
+
+
+def main() -> None:
+    # 1. Measure the service: every version sees the same 3 000 requests.
+    measurements = measure_ic_service(3000, device="cpu", seed=7)
+    print(f"service: {measurements.service}, requests: {measurements.n_requests}\n")
+
+    # 2. The "one size fits all" picture (paper Section III).
+    rows = [
+        [s.version, s.mean_error, s.mean_latency_s, s.latency_vs_fastest, s.error_vs_best]
+        for s in version_summaries(measurements)
+    ]
+    print(
+        format_table(
+            ["version", "top-1 error", "latency (s)", "latency vs fastest", "error vs best"],
+            rows,
+            title="Service versions (fastest first)",
+        )
+    )
+    summary = osfa_limit_summary(measurements)
+    print(
+        f"\nPaying {summary.latency_ratio:.1f}x the latency buys a "
+        f"{summary.error_reduction:.0%} error reduction — but every consumer "
+        "pays it, whether they need the accuracy or not.\n"
+    )
+
+    # 3. Generate routing rules with 99.9 % confidence (paper Fig. 7).
+    configurations = enumerate_configurations(measurements)
+    generator = RoutingRuleGenerator(
+        measurements, configurations, confidence=0.999, seed=1
+    )
+
+    # 4. What each tier buys, for both objectives.
+    tolerances = [0.01, 0.05, 0.10]
+    for objective in ("response-time", "cost"):
+        table = generator.generate(tolerances, objective)
+        rows = []
+        for tolerance in tolerances:
+            configuration = table.config_for(tolerance)
+            metrics = evaluate_policy(measurements, configuration.policy)
+            rows.append(
+                [
+                    f"{tolerance:.0%}",
+                    configuration.name,
+                    metrics.error_degradation,
+                    metrics.response_time_reduction,
+                    metrics.cost_reduction,
+                ]
+            )
+        print(
+            format_table(
+                ["tier", "configuration", "error degradation", "time saved", "cost saved"],
+                rows,
+                title=f"Tolerance Tiers, objective = {objective}",
+                float_format=".3f",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Analysis of the "one size fits all" limitation (paper Section III).
+
+These modules consume a :class:`~repro.service.measurement.MeasurementSet`
+and produce the quantities behind the paper's Figures 1-3 and the Section
+III-E summary:
+
+* :mod:`repro.analysis.pareto` -- accuracy/latency Pareto frontier over
+  service versions (Fig. 1).
+* :mod:`repro.analysis.categories` -- per-request accuracy-latency behaviour
+  categories: unchanged / improves / degrades / varies (Fig. 2e-f) and the
+  per-category error across versions (Fig. 3).
+* :mod:`repro.analysis.tradeoff` -- per-version summaries and latency
+  distributions (Fig. 2a-d).
+* :mod:`repro.analysis.summary` -- the Section III-E headline numbers.
+* :mod:`repro.analysis.tables` -- plain-text table rendering for the
+  benchmark harnesses.
+"""
+
+from repro.analysis.categories import (
+    CATEGORY_NAMES,
+    CategoryBreakdown,
+    categorize_requests,
+    error_by_category,
+)
+from repro.analysis.pareto import ParetoPoint, pareto_frontier, version_pareto
+from repro.analysis.summary import OsfaLimitSummary, osfa_limit_summary
+from repro.analysis.tables import format_table
+from repro.analysis.tradeoff import VersionSummary, latency_percentiles, version_summaries
+
+__all__ = [
+    "CATEGORY_NAMES",
+    "CategoryBreakdown",
+    "OsfaLimitSummary",
+    "ParetoPoint",
+    "VersionSummary",
+    "categorize_requests",
+    "error_by_category",
+    "format_table",
+    "latency_percentiles",
+    "osfa_limit_summary",
+    "pareto_frontier",
+    "version_pareto",
+    "version_summaries",
+]

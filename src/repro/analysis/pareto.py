@@ -1,0 +1,92 @@
+"""Accuracy-latency Pareto analysis of service versions (paper Fig. 1).
+
+A service version is Pareto-optimal when no other version is both faster
+and at least as accurate.  The paper's seven ASR configurations were chosen
+to lie on this frontier; for image classification some published networks
+(e.g. VGG-16 vs ResNet-50) are dominated, and the frontier extraction makes
+that visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.service.measurement import MeasurementSet
+
+__all__ = ["ParetoPoint", "pareto_frontier", "version_pareto"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One service version's operating point.
+
+    Attributes:
+        version: Service-version name.
+        mean_latency_s: Mean processing latency.
+        mean_error: Mean per-request error.
+        on_frontier: Whether the point is Pareto-optimal.
+    """
+
+    version: str
+    mean_latency_s: float
+    mean_error: float
+    on_frontier: bool
+
+
+def pareto_frontier(
+    latencies: Sequence[float], errors: Sequence[float]
+) -> List[bool]:
+    """Mark which (latency, error) points are Pareto-optimal.
+
+    Both objectives are minimised.  A point is dominated when another point
+    has latency <= and error <= with at least one strict inequality.
+
+    Args:
+        latencies: Mean latency per version.
+        errors: Mean error per version (aligned).
+
+    Returns:
+        A list of booleans aligned with the inputs; True means the point is
+        on the frontier.
+    """
+    lat = np.asarray(latencies, dtype=float)
+    err = np.asarray(errors, dtype=float)
+    if lat.shape != err.shape:
+        raise ValueError("latencies and errors must have the same length")
+    if lat.size == 0:
+        return []
+    flags: List[bool] = []
+    for i in range(lat.size):
+        dominated = np.any(
+            (lat <= lat[i])
+            & (err <= err[i])
+            & ((lat < lat[i]) | (err < err[i]))
+        )
+        flags.append(not bool(dominated))
+    return flags
+
+
+def version_pareto(measurements: MeasurementSet) -> Tuple[ParetoPoint, ...]:
+    """Per-version operating points with Pareto flags, fastest first.
+
+    Args:
+        measurements: The service's measurement set.
+    """
+    versions = measurements.versions
+    latencies = [measurements.mean_latency(v) for v in versions]
+    errors = [measurements.mean_error(v) for v in versions]
+    flags = pareto_frontier(latencies, errors)
+    points = [
+        ParetoPoint(
+            version=v,
+            mean_latency_s=latencies[i],
+            mean_error=errors[i],
+            on_frontier=flags[i],
+        )
+        for i, v in enumerate(versions)
+    ]
+    points.sort(key=lambda p: p.mean_latency_s)
+    return tuple(points)

@@ -1,0 +1,68 @@
+"""Section III-E headline numbers for the "one size fits all" limitation.
+
+The paper closes its limitation study with two quantitative claims:
+
+* for ASR, a 2.6x increase in response time buys an error reduction of
+  over 9 %;
+* for image classification, a 5x response-time increase buys an error
+  reduction of over 65 %.
+
+:func:`osfa_limit_summary` computes the analogous quantities for any
+measurement set: the latency ratio between the most accurate and the
+fastest version, and the relative error reduction that latency buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.measurement import MeasurementSet
+
+__all__ = ["OsfaLimitSummary", "osfa_limit_summary"]
+
+
+@dataclass(frozen=True)
+class OsfaLimitSummary:
+    """Headline trade-off numbers for one service.
+
+    Attributes:
+        service: Service name.
+        fastest_version: Version with the lowest mean latency.
+        most_accurate_version: Version with the lowest mean error.
+        latency_ratio: Mean latency of the most accurate version divided by
+            the fastest version's.
+        error_reduction: Relative error reduction the slow version provides
+            over the fast one (``1 - err_accurate / err_fast``).
+        fastest_error: Mean error of the fastest version.
+        most_accurate_error: Mean error of the most accurate version.
+    """
+
+    service: str
+    fastest_version: str
+    most_accurate_version: str
+    latency_ratio: float
+    error_reduction: float
+    fastest_error: float
+    most_accurate_error: float
+
+
+def osfa_limit_summary(measurements: MeasurementSet) -> OsfaLimitSummary:
+    """Compute the Section III-E headline numbers for a measurement set."""
+    fastest = measurements.fastest_version()
+    most_accurate = measurements.most_accurate_version()
+    fast_latency = measurements.mean_latency(fastest)
+    accurate_latency = measurements.mean_latency(most_accurate)
+    fast_error = measurements.mean_error(fastest)
+    accurate_error = measurements.mean_error(most_accurate)
+    error_reduction = 0.0
+    if fast_error > 0.0:
+        error_reduction = 1.0 - accurate_error / fast_error
+    return OsfaLimitSummary(
+        service=measurements.service,
+        fastest_version=fastest,
+        most_accurate_version=most_accurate,
+        latency_ratio=accurate_latency / fast_latency if fast_latency > 0 else 0.0,
+        error_reduction=error_reduction,
+        fastest_error=fast_error,
+        most_accurate_error=accurate_error,
+    )

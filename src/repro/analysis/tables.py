@@ -1,0 +1,64 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every benchmark prints the rows/series its paper figure or table reports;
+this helper keeps that output aligned and consistent without pulling in a
+plotting or table dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned plain-text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values; each row must have ``len(headers)`` entries.
+        float_format: ``format()`` spec applied to float cells.
+        title: Optional title printed above the table.
+
+    Returns:
+        The rendered table as a single string (no trailing newline).
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        rendered_rows.append([_render_cell(cell, float_format) for cell in row])
+
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line([str(h) for h in headers]))
+    lines.append(fmt_line(["-" * w for w in widths]))
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Word error rate (WER) computation.
+
+WER is the accuracy metric the paper uses for the ASR service: the number
+of word-level edit operations (insertions, deletions, substitutions) needed
+to turn the hypothesis into the reference, divided by the number of
+reference words.  Lower is better; values above 1.0 are possible when the
+hypothesis inserts more words than the reference contains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["WerBreakdown", "word_error_rate", "edit_distance"]
+
+
+@dataclass(frozen=True)
+class WerBreakdown:
+    """Word-level alignment counts between a hypothesis and a reference.
+
+    Attributes:
+        substitutions: Number of substituted words.
+        deletions: Number of reference words missing from the hypothesis.
+        insertions: Number of hypothesis words absent from the reference.
+        n_reference_words: Length of the reference transcript.
+    """
+
+    substitutions: int
+    deletions: int
+    insertions: int
+    n_reference_words: int
+
+    @property
+    def errors(self) -> int:
+        """Total number of word errors."""
+        return self.substitutions + self.deletions + self.insertions
+
+    @property
+    def wer(self) -> float:
+        """Word error rate (errors / reference length).
+
+        An empty reference with a non-empty hypothesis yields a WER equal to
+        the number of insertions (conventionally treated as ``errors / 1``);
+        an empty reference with an empty hypothesis is a perfect 0.0.
+        """
+        if self.n_reference_words == 0:
+            return float(self.errors)
+        return self.errors / self.n_reference_words
+
+
+def edit_distance(
+    hypothesis: Sequence[str], reference: Sequence[str]
+) -> WerBreakdown:
+    """Compute the word-level Levenshtein alignment between two transcripts.
+
+    Args:
+        hypothesis: Hypothesised word sequence.
+        reference: Reference word sequence.
+
+    Returns:
+        A :class:`WerBreakdown` with the minimum-cost operation counts.
+    """
+    hyp = list(hypothesis)
+    ref = list(reference)
+    n_hyp, n_ref = len(hyp), len(ref)
+
+    # costs[i][j] = (total, subs, dels, ins) for ref[:i] vs hyp[:j]
+    costs = np.zeros((n_ref + 1, n_hyp + 1), dtype=int)
+    ops = np.zeros((n_ref + 1, n_hyp + 1, 3), dtype=int)  # subs, dels, ins
+
+    for i in range(1, n_ref + 1):
+        costs[i, 0] = i
+        ops[i, 0] = (0, i, 0)
+    for j in range(1, n_hyp + 1):
+        costs[0, j] = j
+        ops[0, j] = (0, 0, j)
+
+    for i in range(1, n_ref + 1):
+        for j in range(1, n_hyp + 1):
+            if ref[i - 1] == hyp[j - 1]:
+                costs[i, j] = costs[i - 1, j - 1]
+                ops[i, j] = ops[i - 1, j - 1]
+                continue
+            substitution = costs[i - 1, j - 1] + 1
+            deletion = costs[i - 1, j] + 1
+            insertion = costs[i, j - 1] + 1
+            best = min(substitution, deletion, insertion)
+            costs[i, j] = best
+            if best == substitution:
+                ops[i, j] = ops[i - 1, j - 1] + np.array([1, 0, 0])
+            elif best == deletion:
+                ops[i, j] = ops[i - 1, j] + np.array([0, 1, 0])
+            else:
+                ops[i, j] = ops[i, j - 1] + np.array([0, 0, 1])
+
+    subs, dels, ins = (int(x) for x in ops[n_ref, n_hyp])
+    return WerBreakdown(
+        substitutions=subs,
+        deletions=dels,
+        insertions=ins,
+        n_reference_words=n_ref,
+    )
+
+
+def word_error_rate(
+    hypothesis: Sequence[str], reference: Sequence[str]
+) -> float:
+    """Word error rate of ``hypothesis`` against ``reference``.
+
+    Convenience wrapper over :func:`edit_distance`.
+    """
+    return edit_distance(hypothesis, reference).wer

@@ -1,0 +1,82 @@
+"""Tolerance Tiers — the paper's primary contribution.
+
+The package follows the paper's architecture (Section IV):
+
+* :mod:`repro.core.tiers` -- the tier abstraction an API consumer selects:
+  an error *tolerance* plus an optimisation *objective*.
+* :mod:`repro.core.policies` -- service-version ensembling policies
+  (single version, sequential escalation, concurrent, concurrent with
+  early termination) evaluated over measurement sets.
+* :mod:`repro.core.configuration` -- the ensemble design space the
+  routing-rule generator searches.
+* :mod:`repro.core.metrics` -- error degradation, response time and cost
+  aggregation for policy outcomes.
+* :mod:`repro.core.simulator` -- ``simulate(sample, cfg)``: replay a
+  configuration over measured requests (paper Fig. 7's inner call).
+* :mod:`repro.core.bootstrap` / :mod:`repro.core.rule_generator` -- the
+  bootstrapping routing-rule generator with statistical confidence
+  (paper Fig. 7).
+* :mod:`repro.core.router` -- the serving-time router mapping a requested
+  (tolerance, objective) to a configuration.
+* :mod:`repro.core.guarantees` -- the k-fold held-out audit showing the
+  accuracy guarantees are never violated.
+* :mod:`repro.core.api` -- the consumer-facing Tolerance Tiers endpoint
+  (the ``Tolerance:`` / ``Objective:`` annotated request interface).
+* :mod:`repro.core.learned_router` -- the learned-escalation baseline the
+  paper compared against (and found no better than the simple policies).
+"""
+
+from repro.core.api import ToleranceTiersService
+from repro.core.bootstrap import WorstCaseEstimate, bootstrap_configuration
+from repro.core.configuration import (
+    EnsembleConfiguration,
+    enumerate_configurations,
+)
+from repro.core.guarantees import GuaranteeAudit, ToleranceAuditRow, audit_guarantees
+from repro.core.learned_router import LogisticEscalationPolicy
+from repro.core.metrics import (
+    PolicyMetrics,
+    build_pricing,
+    error_degradation,
+    evaluate_policy,
+)
+from repro.core.outcomes import EnsembleOutcomes
+from repro.core.policies import (
+    ConcurrentPolicy,
+    EarlyTerminationPolicy,
+    EnsemblePolicy,
+    SequentialPolicy,
+    SingleVersionPolicy,
+)
+from repro.core.router import RoutingRuleTable, TierRouter
+from repro.core.rule_generator import RoutingRuleGenerator
+from repro.core.simulator import TierSimulation, simulate
+from repro.core.tiers import ToleranceTier
+
+__all__ = [
+    "ConcurrentPolicy",
+    "EarlyTerminationPolicy",
+    "EnsembleConfiguration",
+    "EnsembleOutcomes",
+    "EnsemblePolicy",
+    "GuaranteeAudit",
+    "LogisticEscalationPolicy",
+    "PolicyMetrics",
+    "RoutingRuleGenerator",
+    "RoutingRuleTable",
+    "SequentialPolicy",
+    "SingleVersionPolicy",
+    "TierRouter",
+    "TierSimulation",
+    "ToleranceAuditRow",
+    "ToleranceTier",
+    "ToleranceTiersService",
+    "WorstCaseEstimate",
+    "audit_guarantees",
+    "bootstrap_configuration",
+    "build_pricing",
+    "enumerate_configurations",
+    "error_degradation",
+    "evaluate_policy",
+    "simulate",
+]

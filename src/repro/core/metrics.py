@@ -1,0 +1,183 @@
+"""Tier metrics: error degradation, response time and cost aggregation.
+
+The routing-rule generator compares ensemble configurations on three
+quantities (paper Fig. 7): the *error degradation* relative to the most
+accurate configuration, the mean *response time*, and the mean *invocation
+cost*.  This module computes all three from policy outcomes, plus the
+reduction-versus-OSFA views the evaluation section reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.outcomes import EnsembleOutcomes
+from repro.core.policies import EnsemblePolicy, SingleVersionPolicy
+from repro.service.measurement import MeasurementSet
+from repro.service.pricing import PricingModel
+
+__all__ = [
+    "PolicyMetrics",
+    "build_pricing",
+    "error_degradation",
+    "evaluate_policy",
+]
+
+
+def build_pricing(
+    measurements: MeasurementSet,
+    *,
+    per_request_fee: float = 0.0,
+    markup: float = 3.0,
+) -> PricingModel:
+    """Build the pricing model implied by a measurement set's deployment.
+
+    Args:
+        measurements: Measurement set whose ``version_instances`` defines
+            which instance type each version runs on.
+        per_request_fee: Fixed platform fee per invocation.
+        markup: Consumer-billing markup over raw IaaS cost.
+    """
+    return PricingModel(
+        {
+            version: measurements.instance_for(version)
+            for version in measurements.versions
+        },
+        per_request_fee=per_request_fee,
+        markup=markup,
+    )
+
+
+def error_degradation(
+    candidate_error: float, baseline_error: float, *, mode: str = "relative"
+) -> float:
+    """Error degradation of a candidate versus the most accurate baseline.
+
+    Args:
+        candidate_error: Mean error of the candidate configuration.
+        baseline_error: Mean error of the most accurate configuration.
+        mode: ``"relative"`` (the paper's "less than X % worse than the most
+            accurate tier", i.e. ``(err - err_best) / err_best``) or
+            ``"absolute"`` (plain difference in error).
+
+    Returns:
+        The degradation, clipped below at 0.0 (a candidate that happens to
+        beat the baseline has zero degradation).
+    """
+    if mode not in ("relative", "absolute"):
+        raise ValueError(f"mode must be 'relative' or 'absolute', got {mode!r}")
+    diff = candidate_error - baseline_error
+    if diff <= 0.0:
+        return 0.0
+    if mode == "absolute":
+        return diff
+    if baseline_error <= 0.0:
+        # A perfect baseline makes any regression an infinite relative
+        # degradation; return the absolute difference instead so the rule
+        # generator can still order configurations.
+        return diff
+    return diff / baseline_error
+
+
+@dataclass(frozen=True)
+class PolicyMetrics:
+    """Aggregate metrics of one policy over one measurement (sub)set.
+
+    Attributes:
+        policy_name: Name of the evaluated policy.
+        mean_error: Mean error of the results served to consumers.
+        error_degradation: Degradation versus the most accurate single
+            version on the same requests.
+        mean_response_time_s: Mean end-to-end response time.
+        mean_invocation_cost: Mean amount billed per request.
+        mean_iaas_cost: Mean provider-side node cost per request.
+        escalation_rate: Fraction of requests served by more than one
+            version.
+        response_time_reduction: Relative response-time saving versus the
+            OSFA baseline (positive is better).
+        cost_reduction: Relative invocation-cost saving versus OSFA.
+    """
+
+    policy_name: str
+    mean_error: float
+    error_degradation: float
+    mean_response_time_s: float
+    mean_invocation_cost: float
+    mean_iaas_cost: float
+    escalation_rate: float
+    response_time_reduction: float
+    cost_reduction: float
+
+
+def evaluate_policy(
+    measurements: MeasurementSet,
+    policy: EnsemblePolicy,
+    *,
+    indices: Optional[Sequence[int]] = None,
+    pricing: Optional[PricingModel] = None,
+    baseline_version: Optional[str] = None,
+    degradation_mode: str = "relative",
+) -> PolicyMetrics:
+    """Evaluate one policy against the OSFA baseline on the same requests.
+
+    Args:
+        measurements: The service's measurement set.
+        policy: The ensembling policy to evaluate.
+        indices: Optional row subset (e.g. a bootstrap sample or a held-out
+            fold).
+        pricing: Pricing model; derived from the measurement set when
+            omitted.
+        baseline_version: The most accurate version the degradation and the
+            reductions are measured against; defaults to the version with
+            the lowest mean error on the *full* measurement set.
+        degradation_mode: ``"relative"`` or ``"absolute"``.
+
+    Returns:
+        Aggregate :class:`PolicyMetrics`.
+    """
+    if pricing is None:
+        pricing = build_pricing(measurements)
+    if baseline_version is None:
+        baseline_version = measurements.most_accurate_version()
+
+    baseline_policy = SingleVersionPolicy(baseline_version)
+    baseline = baseline_policy.evaluate(measurements, indices)
+    outcomes = policy.evaluate(measurements, indices)
+
+    return summarize_outcomes(
+        outcomes,
+        baseline,
+        pricing,
+        degradation_mode=degradation_mode,
+    )
+
+
+def summarize_outcomes(
+    outcomes: EnsembleOutcomes,
+    baseline: EnsembleOutcomes,
+    pricing: PricingModel,
+    *,
+    degradation_mode: str = "relative",
+) -> PolicyMetrics:
+    """Summarise policy outcomes against an already-evaluated baseline."""
+    baseline_time = baseline.mean_response_time()
+    baseline_cost = baseline.mean_invocation_cost(pricing)
+    mean_time = outcomes.mean_response_time()
+    mean_cost = outcomes.mean_invocation_cost(pricing)
+    degradation = error_degradation(
+        outcomes.mean_error(), baseline.mean_error(), mode=degradation_mode
+    )
+    return PolicyMetrics(
+        policy_name=outcomes.policy_name,
+        mean_error=outcomes.mean_error(),
+        error_degradation=degradation,
+        mean_response_time_s=mean_time,
+        mean_invocation_cost=mean_cost,
+        mean_iaas_cost=outcomes.cost(pricing).iaas_cost / outcomes.n_requests,
+        escalation_rate=outcomes.escalation_rate(),
+        response_time_reduction=1.0 - mean_time / baseline_time
+        if baseline_time > 0
+        else 0.0,
+        cost_reduction=1.0 - mean_cost / baseline_cost if baseline_cost > 0 else 0.0,
+    )

@@ -1,0 +1,95 @@
+"""Tier simulation: replay one configuration over measured requests.
+
+This is the ``simulate(sample, cfg)`` call inside the paper's routing-rule
+generator (Fig. 7): given a subset of the training measurements and one
+candidate configuration, report the three numbers the generator cares about
+— error degradation versus the most accurate version, mean response time,
+and mean invocation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.configuration import EnsembleConfiguration
+from repro.core.metrics import build_pricing, evaluate_policy
+from repro.service.measurement import MeasurementSet
+from repro.service.pricing import PricingModel
+
+__all__ = ["TierSimulation", "simulate"]
+
+
+@dataclass(frozen=True)
+class TierSimulation:
+    """Result of simulating one configuration over one request sample.
+
+    Attributes:
+        config_id: Identifier of the simulated configuration.
+        error_degradation: Relative error degradation versus the most
+            accurate single version on the same sample.
+        mean_response_time_s: Mean end-to-end response time.
+        mean_invocation_cost: Mean billed cost per request.
+        response_time_reduction: Saving versus the OSFA baseline.
+        cost_reduction: Saving versus the OSFA baseline.
+    """
+
+    config_id: str
+    error_degradation: float
+    mean_response_time_s: float
+    mean_invocation_cost: float
+    response_time_reduction: float
+    cost_reduction: float
+
+    def objective_value(self, objective: str) -> float:
+        """The raw metric a tier with the given objective minimises.
+
+        Args:
+            objective: ``"response-time"`` or ``"cost"``.
+        """
+        if objective == "response-time":
+            return self.mean_response_time_s
+        if objective == "cost":
+            return self.mean_invocation_cost
+        raise ValueError(f"unknown objective {objective!r}")
+
+
+def simulate(
+    measurements: MeasurementSet,
+    configuration: EnsembleConfiguration,
+    *,
+    indices: Optional[Sequence[int]] = None,
+    pricing: Optional[PricingModel] = None,
+    baseline_version: Optional[str] = None,
+    degradation_mode: str = "relative",
+) -> TierSimulation:
+    """Simulate one configuration over (a sample of) the measurements.
+
+    Args:
+        measurements: The service's measurement set.
+        configuration: The candidate configuration to replay.
+        indices: Optional row subset (a bootstrap trial's sample).
+        pricing: Optional pre-built pricing model (saves re-deriving it in
+            tight bootstrap loops).
+        baseline_version: Most accurate version used as the degradation
+            reference; defaults to the set's most accurate version.
+        degradation_mode: ``"relative"`` or ``"absolute"``.
+    """
+    if pricing is None:
+        pricing = build_pricing(measurements)
+    metrics = evaluate_policy(
+        measurements,
+        configuration.policy,
+        indices=indices,
+        pricing=pricing,
+        baseline_version=baseline_version,
+        degradation_mode=degradation_mode,
+    )
+    return TierSimulation(
+        config_id=configuration.config_id,
+        error_degradation=metrics.error_degradation,
+        mean_response_time_s=metrics.mean_response_time_s,
+        mean_invocation_cost=metrics.mean_invocation_cost,
+        response_time_reduction=metrics.response_time_reduction,
+        cost_reduction=metrics.cost_reduction,
+    )

@@ -1,0 +1,147 @@
+"""Scale-out cluster deployments.
+
+A deployment is a set of node pools — one pool per service version — plus
+the pricing model that bills work done on them.  The conventional
+"one size fits all" deployment is the special case of a single pool running
+the provider's chosen version; a Tolerance Tiers deployment keeps pools for
+several versions so the routing policies have somewhere to send requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.service.instances import InstanceType
+from repro.service.load_balancer import LoadBalancer
+from repro.service.node import ServiceNode, ServiceVersion, VersionResult
+from repro.service.pricing import CostBreakdown, PricingModel
+from repro.service.request import ServiceRequest, ServiceResponse
+
+__all__ = ["ClusterDeployment", "NodePool"]
+
+
+@dataclass(frozen=True)
+class NodePool:
+    """Specification of one version's pool.
+
+    Attributes:
+        version: The service version hosted by the pool.
+        instance_type: Machine type of every node in the pool.
+        n_nodes: Number of identical nodes.
+    """
+
+    version: ServiceVersion
+    instance_type: InstanceType
+    n_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+
+    def build_nodes(self) -> List[ServiceNode]:
+        """Instantiate the pool's nodes."""
+        return [
+            ServiceNode(self.version, self.instance_type)
+            for _ in range(self.n_nodes)
+        ]
+
+
+class ClusterDeployment:
+    """A running deployment: node pools, a load balancer and pricing.
+
+    Args:
+        pools: Pool specification per service-version name.
+        per_request_fee: Platform fee billed per invocation.
+        markup: Consumer-billing markup over raw IaaS cost.
+    """
+
+    def __init__(
+        self,
+        pools: Mapping[str, NodePool],
+        *,
+        per_request_fee: float = 0.0,
+        markup: float = 3.0,
+    ) -> None:
+        if not pools:
+            raise ValueError("a deployment needs at least one pool")
+        self._pool_specs = dict(pools)
+        self._nodes: Dict[str, List[ServiceNode]] = {
+            name: spec.build_nodes() for name, spec in self._pool_specs.items()
+        }
+        self.load_balancer = LoadBalancer(self._nodes)
+        self.pricing = PricingModel(
+            {name: spec.instance_type for name, spec in self._pool_specs.items()},
+            per_request_fee=per_request_fee,
+            markup=markup,
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def one_size_fits_all(
+        cls,
+        version: ServiceVersion,
+        instance_type: InstanceType,
+        *,
+        n_nodes: int = 1,
+        **pricing_kwargs,
+    ) -> "ClusterDeployment":
+        """The conventional deployment: one version scaled out everywhere."""
+        pool = NodePool(version=version, instance_type=instance_type, n_nodes=n_nodes)
+        return cls({version.name: pool}, **pricing_kwargs)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    @property
+    def versions(self) -> Tuple[str, ...]:
+        """Versions the deployment can serve."""
+        return self.load_balancer.versions
+
+    def serve_with_version(
+        self, version: str, request: ServiceRequest
+    ) -> ServiceResponse:
+        """Serve one request with one specific version (no ensembling)."""
+        result, latency = self.load_balancer.dispatch(
+            version, request.request_id, request.payload
+        )
+        cost = self.pricing.request_cost({version: result.compute_seconds})
+        return ServiceResponse(
+            request_id=request.request_id,
+            result=result.output,
+            versions_used=(version,),
+            response_time_s=latency,
+            invocation_cost=cost.invocation_cost,
+            tier=None,
+            confidence=result.confidence,
+        )
+
+    def raw_dispatch(
+        self, version: str, request: ServiceRequest
+    ) -> Tuple[VersionResult, float]:
+        """Low-level dispatch used by the Tolerance Tiers policy executor."""
+        return self.load_balancer.dispatch(
+            version, request.request_id, request.payload
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def cost_of(self, node_seconds_by_version: Mapping[str, float]) -> CostBreakdown:
+        """Price an arbitrary bundle of node-seconds on this deployment."""
+        return self.pricing.request_cost(node_seconds_by_version)
+
+    def iaas_spend(self) -> Dict[str, float]:
+        """Accumulated IaaS cost per version since deployment (or reset)."""
+        spend: Dict[str, float] = {}
+        for name, nodes in self._nodes.items():
+            spend[name] = sum(node.accumulated_cost for node in nodes)
+        return spend
+
+    def reset_accounting(self) -> None:
+        """Zero all per-node accounting counters."""
+        for nodes in self._nodes.values():
+            for node in nodes:
+                node.reset_accounting()

@@ -1,0 +1,112 @@
+"""Load balancing across service-node pools.
+
+The paper's deployment picture is a front-end load balancer (the role
+filled by Zuul/Nginx in production stacks) that forwards each request to a
+node running the right service version.  Tolerance Tiers extends that load
+balancer with routing *policies* (which version(s) to use per tier); the
+mechanics of picking a node inside a version's pool stay the same and live
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.service.node import ServiceNode, VersionResult
+
+__all__ = ["LoadBalancer", "RoundRobinPolicy", "LeastBusyPolicy"]
+
+
+class RoundRobinPolicy:
+    """Select nodes in cyclic order, independent of load."""
+
+    def __init__(self) -> None:
+        self._cursor: Dict[str, int] = {}
+
+    def select(self, version: str, nodes: Sequence[ServiceNode]) -> ServiceNode:
+        """Pick the next node of ``version``'s pool."""
+        if not nodes:
+            raise ValueError(f"no nodes available for version {version!r}")
+        index = self._cursor.get(version, 0) % len(nodes)
+        self._cursor[version] = index + 1
+        return nodes[index]
+
+
+class LeastBusyPolicy:
+    """Select the node that has accumulated the least busy time."""
+
+    def select(self, version: str, nodes: Sequence[ServiceNode]) -> ServiceNode:
+        """Pick the least-busy node of ``version``'s pool."""
+        if not nodes:
+            raise ValueError(f"no nodes available for version {version!r}")
+        return min(nodes, key=lambda node: node.busy_seconds)
+
+
+class LoadBalancer:
+    """Dispatches requests to the node pools of the registered versions.
+
+    Args:
+        pools: Mapping from version name to its list of nodes.
+        selection_policy: How to pick a node within a pool; defaults to
+            round-robin.
+    """
+
+    def __init__(
+        self,
+        pools: Dict[str, List[ServiceNode]],
+        *,
+        selection_policy: RoundRobinPolicy | LeastBusyPolicy | None = None,
+    ) -> None:
+        if not pools:
+            raise ValueError("load balancer needs at least one version pool")
+        for version, nodes in pools.items():
+            if not nodes:
+                raise ValueError(f"version {version!r} has an empty node pool")
+        self._pools = {version: list(nodes) for version, nodes in pools.items()}
+        self._policy = selection_policy or RoundRobinPolicy()
+
+    @property
+    def versions(self) -> Tuple[str, ...]:
+        """Names of the versions the balancer can route to."""
+        return tuple(self._pools.keys())
+
+    def pool_size(self, version: str) -> int:
+        """Number of nodes serving ``version``."""
+        return len(self._require_pool(version))
+
+    def _require_pool(self, version: str) -> List[ServiceNode]:
+        try:
+            return self._pools[version]
+        except KeyError:
+            raise KeyError(
+                f"unknown service version {version!r}; registered versions are "
+                f"{sorted(self._pools)}"
+            ) from None
+
+    def dispatch(
+        self, version: str, request_id: str, payload: Any
+    ) -> Tuple[VersionResult, float]:
+        """Send one request to one version; returns ``(result, latency_s)``."""
+        node = self._policy.select(version, self._require_pool(version))
+        return node.process(request_id, payload)
+
+    def dispatch_many(
+        self, versions: Iterable[str], request_id: str, payload: Any
+    ) -> Dict[str, Tuple[VersionResult, float]]:
+        """Send the same request to several versions (concurrent ensembles).
+
+        Returns a mapping from version name to ``(result, latency_s)``; the
+        caller decides how to combine them (e.g. take the fast result if it
+        is confident, otherwise wait for the accurate one).
+        """
+        return {
+            version: self.dispatch(version, request_id, payload)
+            for version in versions
+        }
+
+    def total_busy_seconds(self) -> Dict[str, float]:
+        """Busy node-seconds accumulated per version across its pool."""
+        return {
+            version: sum(node.busy_seconds for node in nodes)
+            for version, nodes in self._pools.items()
+        }

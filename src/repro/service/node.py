@@ -1,0 +1,143 @@
+"""Service nodes and the service-version protocol they host.
+
+A *service version* is one concrete model configuration (an ASR beam-search
+configuration, a CNN, or a calibrated profile) that knows how to process a
+request payload and report what it cost.  A *service node* is one rented
+machine running one service version; the node applies its instance type's
+speed factor to the version's baseline latency, which is how the same
+version gets cheaper-but-slower or pricier-but-faster depending on where it
+is deployed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Protocol
+
+from repro.service.instances import InstanceType
+
+__all__ = ["CallableVersion", "ServiceNode", "ServiceVersion", "VersionResult"]
+
+
+@dataclass(frozen=True)
+class VersionResult:
+    """What one service version reports after processing one request.
+
+    Attributes:
+        request_id: Identifier of the processed request.
+        version: Name of the service version that produced the result.
+        output: The model output (transcript, class id, ...).
+        error: The result's error against the reference (WER or top-1
+            error); ``None`` when no reference is available.
+        confidence: Model confidence in ``[0, 1]``.
+        compute_seconds: Baseline node-seconds of compute on a
+            speed-factor-1.0 node.
+    """
+
+    request_id: str
+    version: str
+    output: Any
+    error: Optional[float]
+    confidence: float
+    compute_seconds: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must be in [0, 1]")
+        if self.compute_seconds < 0.0:
+            raise ValueError("compute_seconds must be non-negative")
+
+
+class ServiceVersion(Protocol):
+    """Protocol every hostable model version implements."""
+
+    name: str
+
+    def handle(self, request_id: str, payload: Any) -> VersionResult:
+        """Process one request payload and report the outcome."""
+        ...
+
+
+class CallableVersion:
+    """Adapts a plain callable into a :class:`ServiceVersion`.
+
+    Args:
+        name: Version name.
+        handler: Callable ``(request_id, payload) -> VersionResult``.
+    """
+
+    def __init__(
+        self, name: str, handler: Callable[[str, Any], VersionResult]
+    ) -> None:
+        self.name = name
+        self._handler = handler
+
+    def handle(self, request_id: str, payload: Any) -> VersionResult:
+        """Delegate to the wrapped callable."""
+        result = self._handler(request_id, payload)
+        if result.version != self.name:
+            raise ValueError(
+                f"handler for version {self.name!r} returned a result labelled "
+                f"{result.version!r}"
+            )
+        return result
+
+
+class ServiceNode:
+    """One machine instance hosting one service version.
+
+    Args:
+        version: The hosted service version.
+        instance_type: The machine type the node is rented on.
+        node_id: Optional explicit node identifier (auto-generated
+            otherwise).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        version: ServiceVersion,
+        instance_type: InstanceType,
+        *,
+        node_id: Optional[str] = None,
+    ) -> None:
+        self.version = version
+        self.instance_type = instance_type
+        self.node_id = node_id or f"node_{next(self._ids):04d}"
+        self._busy_seconds = 0.0
+        self._requests_served = 0
+
+    def process(self, request_id: str, payload: Any) -> tuple[VersionResult, float]:
+        """Process a request and return ``(result, wall_latency_s)``.
+
+        The wall latency is the version's baseline compute divided by the
+        node's speed factor; the node also accumulates busy time so a
+        deployment can report utilisation and IaaS spend.
+        """
+        result = self.version.handle(request_id, payload)
+        latency = result.compute_seconds / self.instance_type.speed_factor
+        self._busy_seconds += latency
+        self._requests_served += 1
+        return result, latency
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total node-seconds spent processing so far."""
+        return self._busy_seconds
+
+    @property
+    def requests_served(self) -> int:
+        """Number of requests this node has processed."""
+        return self._requests_served
+
+    @property
+    def accumulated_cost(self) -> float:
+        """IaaS cost of the node time consumed so far."""
+        return self._busy_seconds * self.instance_type.price_per_second
+
+    def reset_accounting(self) -> None:
+        """Zero the busy-time and request counters."""
+        self._busy_seconds = 0.0
+        self._requests_served = 0

@@ -1,0 +1,45 @@
+"""Shared statistics helpers used across the Tolerance Tiers reproduction.
+
+The sub-modules are intentionally small and dependency-light:
+
+* :mod:`repro.stats.descriptive` -- means, percentiles, summaries.
+* :mod:`repro.stats.resampling` -- seeded bootstrap and subsampling utilities.
+* :mod:`repro.stats.confidence` -- z-score / normal-quantile confidence tests
+  used by the routing-rule generator (paper Fig. 7).
+"""
+
+from repro.stats.confidence import (
+    ConfidenceTest,
+    normal_quantile,
+    spread_is_confident,
+    zscores,
+)
+from repro.stats.descriptive import (
+    StreamingMoments,
+    Summary,
+    geometric_mean,
+    percentile,
+    summarize,
+)
+from repro.stats.resampling import (
+    bootstrap_indices,
+    bootstrap_statistic,
+    kfold_indices,
+    subsample_indices,
+)
+
+__all__ = [
+    "ConfidenceTest",
+    "StreamingMoments",
+    "Summary",
+    "bootstrap_indices",
+    "bootstrap_statistic",
+    "geometric_mean",
+    "kfold_indices",
+    "normal_quantile",
+    "percentile",
+    "spread_is_confident",
+    "subsample_indices",
+    "summarize",
+    "zscores",
+]

@@ -1,0 +1,147 @@
+"""Confidence tests used by the routing-rule generator.
+
+The generator in the paper (Fig. 7) keeps running bootstrap trials of a
+candidate ensemble configuration until, for every metric (error degradation,
+response time, cost), the observed trial values have spread "enough": the
+z-scores of the trial values must straddle the normal quantile implied by the
+requested confidence level, or span more than twice that quantile.  Once the
+spread condition holds, the *worst* observed value is recorded as the
+configuration's worst-case estimate.
+
+This module implements that spread test as an explicit, documented function
+so it can be unit- and property-tested independent of the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = [
+    "ConfidenceTest",
+    "normal_quantile",
+    "spread_is_confident",
+    "zscores",
+]
+
+
+def normal_quantile(confidence: float) -> float:
+    """Return the standard-normal quantile for a confidence level.
+
+    Args:
+        confidence: Confidence level in the open interval ``(0, 1)``,
+            e.g. ``0.999`` for the paper's 99.9 % setting.
+
+    Returns:
+        ``Phi^{-1}(confidence)`` — the number of standard deviations a
+        trial value must sit away from the mean before the spread test
+        considers the sample "wide enough".
+
+    Raises:
+        ValueError: If ``confidence`` is not strictly between 0 and 1.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return float(norm.ppf(confidence))
+
+
+def zscores(values: Sequence[float]) -> np.ndarray:
+    """Return the z-scores of a sample (zeros when the spread is zero).
+
+    ``scipy.stats.zscore`` returns NaN for constant samples; the generator
+    must instead treat a constant sample as "no spread observed yet", so this
+    wrapper maps that case to an all-zeros array.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return np.empty(0, dtype=float)
+    std = arr.std()
+    if std == 0.0:
+        return np.zeros_like(arr)
+    return (arr - arr.mean()) / std
+
+
+def spread_is_confident(values: Sequence[float], confidence: float) -> bool:
+    """Decide whether a metric's bootstrap trials have spread enough.
+
+    This mirrors the ``confident`` predicate of the paper's
+    ``RoutingRuleGenerator`` (Fig. 7): with ``z`` the z-scores of the trial
+    values and ``q`` the normal quantile of the confidence level, the sample
+    is confident when either
+
+    * ``min(z) < -q`` and ``max(z) > q`` (the trials straddle both tails), or
+    * ``max(z) - min(z) > 2 q`` (the total spread exceeds two quantiles).
+
+    A sample with fewer than two trials is never confident.  A *constant*
+    sample with at least ``ceil(1 / (1 - confidence))`` trials is treated as
+    confident: a metric that does not vary at all across that many random
+    subsamples has, for the purposes of worst-case estimation, been observed
+    directly (this situation arises for deterministic costs).
+
+    Args:
+        values: Observed trial values for one metric.
+        confidence: Confidence level in ``(0, 1)``.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        return False
+    quantile = normal_quantile(confidence)
+    if float(arr.std()) == 0.0:
+        needed = int(np.ceil(1.0 / max(1.0 - confidence, 1e-12)))
+        # Cap the requirement so that degenerate (constant) metrics cannot
+        # force an unbounded number of trials at very high confidence.
+        needed = min(needed, 1000)
+        return arr.size >= min(needed, 30)
+    z = zscores(arr)
+    straddles = bool(z.min() < -quantile and z.max() > quantile)
+    wide = bool(z.max() - z.min() > 2.0 * quantile)
+    return straddles or wide
+
+
+@dataclass(frozen=True)
+class ConfidenceTest:
+    """A reusable spread test bound to a confidence level.
+
+    Attributes:
+        confidence: Confidence level in ``(0, 1)``.
+        min_trials: Lower bound on the number of trials before the test can
+            pass, regardless of spread.  The paper leaves this implicit; we
+            default to 10 so worst-case estimates are never based on one or
+            two lucky subsamples.
+        max_trials: Upper bound after which the test passes unconditionally,
+            protecting the generator from non-terminating loops on
+            pathological metrics.
+    """
+
+    confidence: float = 0.999
+    min_trials: int = 10
+    max_trials: int = 500
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.min_trials < 2:
+            raise ValueError("min_trials must be at least 2")
+        if self.max_trials < self.min_trials:
+            raise ValueError("max_trials must be >= min_trials")
+
+    def is_satisfied(self, values: Sequence[float]) -> bool:
+        """Return True when the trial sample for one metric is sufficient."""
+        arr = np.asarray(values, dtype=float)
+        if arr.size < self.min_trials:
+            return False
+        if arr.size >= self.max_trials:
+            return True
+        return spread_is_confident(arr, self.confidence)
+
+    def all_satisfied(self, metric_columns: Sequence[Sequence[float]]) -> bool:
+        """Return True when every metric column satisfies the test."""
+        columns = list(metric_columns)
+        if not columns:
+            return False
+        return all(self.is_satisfied(column) for column in columns)

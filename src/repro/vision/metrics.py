@@ -1,0 +1,55 @@
+"""Classification accuracy metrics.
+
+The paper evaluates its image-classification service with the top-1 error:
+a per-request binary outcome (the arg-max class either matches the label or
+it does not), unlike the ASR service's continuous WER.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["top1_error", "top_k_error"]
+
+
+def top1_error(predictions: Sequence[int], labels: Sequence[int]) -> float:
+    """Fraction of predictions whose arg-max class is wrong.
+
+    Args:
+        predictions: Predicted class ids.
+        labels: Ground-truth class ids (same length).
+
+    Raises:
+        ValueError: If the sequences are empty or lengths differ.
+    """
+    pred = np.asarray(predictions, dtype=int)
+    true = np.asarray(labels, dtype=int)
+    if pred.size == 0:
+        raise ValueError("cannot compute top-1 error of an empty sample")
+    if pred.shape != true.shape:
+        raise ValueError("predictions and labels disagree on length")
+    return float((pred != true).mean())
+
+
+def top_k_error(proba: np.ndarray, labels: Sequence[int], k: int = 5) -> float:
+    """Fraction of samples whose label is not among the top-``k`` classes.
+
+    Args:
+        proba: Class probabilities or scores of shape ``(n, classes)``.
+        labels: Ground-truth class ids of length ``n``.
+        k: Number of top classes considered a hit.
+
+    Raises:
+        ValueError: If shapes disagree or ``k`` is out of range.
+    """
+    proba = np.asarray(proba, dtype=float)
+    true = np.asarray(labels, dtype=int)
+    if proba.ndim != 2 or proba.shape[0] != true.shape[0]:
+        raise ValueError("proba must be (n, classes) aligned with labels")
+    if not 1 <= k <= proba.shape[1]:
+        raise ValueError(f"k must be in [1, {proba.shape[1]}], got {k}")
+    top_k = np.argsort(-proba, axis=1)[:, :k]
+    hits = (top_k == true[:, None]).any(axis=1)
+    return float(1.0 - hits.mean())

@@ -1,0 +1,196 @@
+"""Miniature model zoo.
+
+The paper serves five ImageNet-scale CNNs (SqueezeNet, AlexNet, GoogLeNet,
+ResNet-50, VGG-16).  Training those from scratch is out of scope offline, so
+the zoo provides *miniature architectural analogues* sized for the synthetic
+image dataset: each keeps the defining structural idea of its namesake
+(squeeze/expand bottlenecks, a plain stack of large dense layers, parallel
+branches approximated by wider convolutions, residual connections, deep
+homogeneous 3x3 stacks) at a scale that trains in seconds with the NumPy
+trainer.  Capacity — and therefore both accuracy and FLOPs — increases from
+``mini_squeezenet`` to ``mini_vgg``, reproducing the accuracy-latency
+ordering of the real networks.
+
+For paper-scale experiments the calibrated profiles in
+:mod:`repro.vision.profiles` are used instead; the zoo exists so the actual
+inference/training code path is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.vision.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAveragePool,
+    MaxPool2D,
+    ReLU,
+    Residual,
+)
+from repro.vision.network import NeuralNetwork
+
+__all__ = ["MINI_MODEL_BUILDERS", "build_mini_model"]
+
+_Builder = Callable[[Tuple[int, int, int], int, np.random.Generator], NeuralNetwork]
+
+
+def _mini_squeezenet(
+    input_shape: Tuple[int, int, int], n_classes: int, rng: np.random.Generator
+) -> NeuralNetwork:
+    """Tiny squeeze/expand network — the fastest, least accurate version."""
+    channels = input_shape[0]
+    return NeuralNetwork(
+        "mini_squeezenet",
+        [
+            Conv2D(channels, 8, 3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(8, 4, 1, rng=rng),   # squeeze
+            ReLU(),
+            Conv2D(4, 12, 3, rng=rng),  # expand
+            ReLU(),
+            GlobalAveragePool(),
+            Dense(12, n_classes, rng=rng),
+        ],
+        input_shape,
+    )
+
+
+def _mini_alexnet(
+    input_shape: Tuple[int, int, int], n_classes: int, rng: np.random.Generator
+) -> NeuralNetwork:
+    """Small conv stack followed by wide dense layers."""
+    channels, height, width = input_shape
+    flat = 16 * (height // 4) * (width // 4)
+    return NeuralNetwork(
+        "mini_alexnet",
+        [
+            Conv2D(channels, 12, 5, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(12, 16, 3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(flat, 48, rng=rng),
+            ReLU(),
+            Dense(48, n_classes, rng=rng),
+        ],
+        input_shape,
+    )
+
+
+def _mini_googlenet(
+    input_shape: Tuple[int, int, int], n_classes: int, rng: np.random.Generator
+) -> NeuralNetwork:
+    """Wider multi-stage network standing in for the Inception family."""
+    channels = input_shape[0]
+    return NeuralNetwork(
+        "mini_googlenet",
+        [
+            Conv2D(channels, 16, 3, rng=rng),
+            ReLU(),
+            Conv2D(16, 24, 3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(24, 32, 3, rng=rng),
+            ReLU(),
+            Conv2D(32, 32, 1, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            GlobalAveragePool(),
+            Dense(32, n_classes, rng=rng),
+        ],
+        input_shape,
+    )
+
+
+def _mini_resnet(
+    input_shape: Tuple[int, int, int], n_classes: int, rng: np.random.Generator
+) -> NeuralNetwork:
+    """Residual network with two identity blocks."""
+    channels = input_shape[0]
+    return NeuralNetwork(
+        "mini_resnet",
+        [
+            Conv2D(channels, 24, 3, rng=rng),
+            ReLU(),
+            Residual([Conv2D(24, 24, 3, rng=rng), ReLU(), Conv2D(24, 24, 3, rng=rng)]),
+            MaxPool2D(2),
+            Residual([Conv2D(24, 24, 3, rng=rng), ReLU(), Conv2D(24, 24, 3, rng=rng)]),
+            MaxPool2D(2),
+            GlobalAveragePool(),
+            Dense(24, n_classes, rng=rng),
+        ],
+        input_shape,
+    )
+
+
+def _mini_vgg(
+    input_shape: Tuple[int, int, int], n_classes: int, rng: np.random.Generator
+) -> NeuralNetwork:
+    """Deep homogeneous 3x3 stack — the slowest, most accurate version."""
+    channels, height, width = input_shape
+    flat = 48 * (height // 4) * (width // 4)
+    return NeuralNetwork(
+        "mini_vgg",
+        [
+            Conv2D(channels, 24, 3, rng=rng),
+            ReLU(),
+            Conv2D(24, 24, 3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(24, 48, 3, rng=rng),
+            ReLU(),
+            Conv2D(48, 48, 3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(flat, 64, rng=rng),
+            ReLU(),
+            Dense(64, n_classes, rng=rng),
+        ],
+        input_shape,
+    )
+
+
+#: Builders for the miniature analogues of the paper's five networks,
+#: ordered fastest (least accurate) to slowest (most accurate).
+MINI_MODEL_BUILDERS: Dict[str, _Builder] = {
+    "mini_squeezenet": _mini_squeezenet,
+    "mini_alexnet": _mini_alexnet,
+    "mini_googlenet": _mini_googlenet,
+    "mini_resnet": _mini_resnet,
+    "mini_vgg": _mini_vgg,
+}
+
+
+def build_mini_model(
+    name: str,
+    input_shape: Tuple[int, int, int],
+    n_classes: int,
+    *,
+    seed: int = 0,
+) -> NeuralNetwork:
+    """Build a miniature model by name.
+
+    Args:
+        name: One of :data:`MINI_MODEL_BUILDERS`.
+        input_shape: Channels-first input shape, e.g. ``(1, 16, 16)``.
+        n_classes: Number of output classes.
+        seed: Weight-initialisation seed.
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    try:
+        builder = MINI_MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; expected one of {sorted(MINI_MODEL_BUILDERS)}"
+        ) from None
+    return builder(tuple(input_shape), n_classes, np.random.default_rng(seed))

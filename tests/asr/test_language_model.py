@@ -1,0 +1,97 @@
+"""Tests for the bigram language model."""
+
+import numpy as np
+import pytest
+
+from repro.asr.language_model import START_CONTEXT, BigramLanguageModel
+
+
+@pytest.fixture()
+def fitted_model():
+    model = BigramLanguageModel(n_words=4, smoothing=0.1)
+    # word 0 is usually followed by word 1; word 2 starts most sentences.
+    sentences = [[2, 0, 1], [2, 0, 1, 3], [0, 1], [2, 3, 0, 1]]
+    return model.fit(sentences)
+
+
+class TestConstruction:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            BigramLanguageModel(0)
+        with pytest.raises(ValueError):
+            BigramLanguageModel(5, smoothing=0.0)
+
+    def test_unfitted_queries_raise(self):
+        model = BigramLanguageModel(3)
+        assert not model.is_fitted
+        with pytest.raises(RuntimeError):
+            model.log_prob(0)
+
+
+class TestFit:
+    def test_probabilities_normalise(self, fitted_model):
+        for context in [START_CONTEXT, 0, 1, 2, 3]:
+            probs = np.exp(fitted_model.successor_log_probs(context))
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_observed_bigram_more_likely(self, fitted_model):
+        assert fitted_model.log_prob(1, 0) > fitted_model.log_prob(2, 0)
+
+    def test_start_distribution_reflects_data(self, fitted_model):
+        assert fitted_model.log_prob(2, START_CONTEXT) > fitted_model.log_prob(
+            3, START_CONTEXT
+        )
+
+    def test_rejects_out_of_vocabulary(self):
+        model = BigramLanguageModel(3)
+        with pytest.raises(ValueError):
+            model.fit([[0, 7]])
+
+    def test_empty_sentences_ignored(self):
+        model = BigramLanguageModel(3).fit([[], [0, 1]])
+        assert model.is_fitted
+
+
+class TestQueries:
+    def test_top_successors_sorted(self, fitted_model):
+        successors = fitted_model.top_successors(0, k=2)
+        assert len(successors) == 2
+        assert successors[0][1] >= successors[1][1]
+
+    def test_top_successors_all_when_k_none(self, fitted_model):
+        assert len(fitted_model.top_successors(0)) == 4
+
+    def test_top_successors_rejects_bad_k(self, fitted_model):
+        with pytest.raises(ValueError):
+            fitted_model.top_successors(0, k=0)
+
+    def test_sentence_log_prob_additive(self, fitted_model):
+        expected = fitted_model.log_prob(2, START_CONTEXT) + fitted_model.log_prob(0, 2)
+        assert fitted_model.sentence_log_prob([2, 0]) == pytest.approx(expected)
+
+    def test_sentence_log_prob_empty(self, fitted_model):
+        assert fitted_model.sentence_log_prob([]) == 0.0
+
+    def test_perplexity_lower_for_likely_corpus(self, fitted_model):
+        likely = [[2, 0, 1]] * 5
+        unlikely = [[3, 3, 3]] * 5
+        assert fitted_model.perplexity(likely) < fitted_model.perplexity(unlikely)
+
+    def test_perplexity_rejects_empty(self, fitted_model):
+        with pytest.raises(ValueError):
+            fitted_model.perplexity([[]])
+
+
+class TestFromWordSentences:
+    def test_builds_and_fits(self):
+        vocab = {"a": 0, "b": 1}
+        model = BigramLanguageModel.from_word_sentences(
+            [["a", "b"], ["a", "a"]], vocab
+        )
+        assert model.is_fitted
+        assert model.n_words == 2
+
+    def test_skips_oov_words(self):
+        vocab = {"a": 0, "b": 1}
+        model = BigramLanguageModel.from_word_sentences([["a", "zzz", "b"]], vocab)
+        assert model.is_fitted

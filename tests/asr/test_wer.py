@@ -1,0 +1,87 @@
+"""Tests for word error rate computation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asr.wer import WerBreakdown, edit_distance, word_error_rate
+
+words = st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=0, max_size=8)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        breakdown = edit_distance(["a", "b"], ["a", "b"])
+        assert breakdown.errors == 0
+        assert breakdown.wer == 0.0
+
+    def test_single_substitution(self):
+        breakdown = edit_distance(["a", "x"], ["a", "b"])
+        assert breakdown.substitutions == 1
+        assert breakdown.deletions == 0
+        assert breakdown.insertions == 0
+        assert breakdown.wer == pytest.approx(0.5)
+
+    def test_deletion(self):
+        breakdown = edit_distance(["a"], ["a", "b"])
+        assert breakdown.deletions == 1
+        assert breakdown.wer == pytest.approx(0.5)
+
+    def test_insertion(self):
+        breakdown = edit_distance(["a", "b", "c"], ["a", "b"])
+        assert breakdown.insertions == 1
+        assert breakdown.wer == pytest.approx(0.5)
+
+    def test_wer_can_exceed_one(self):
+        assert word_error_rate(["x", "y", "z"], ["a"]) > 1.0
+
+    def test_empty_reference_and_hypothesis(self):
+        breakdown = edit_distance([], [])
+        assert breakdown.errors == 0
+        assert breakdown.wer == 0.0
+
+    def test_empty_reference_nonempty_hypothesis(self):
+        breakdown = edit_distance(["a", "b"], [])
+        assert breakdown.insertions == 2
+        assert breakdown.wer == 2.0
+
+    def test_empty_hypothesis(self):
+        breakdown = edit_distance([], ["a", "b", "c"])
+        assert breakdown.deletions == 3
+        assert breakdown.wer == 1.0
+
+
+class TestWerProperties:
+    @given(words, words)
+    def test_breakdown_consistent_with_total(self, hyp, ref):
+        breakdown = edit_distance(hyp, ref)
+        assert breakdown.errors == (
+            breakdown.substitutions + breakdown.deletions + breakdown.insertions
+        )
+        assert breakdown.errors >= abs(len(hyp) - len(ref))
+        assert breakdown.errors <= max(len(hyp), len(ref))
+
+    @given(words)
+    def test_identity_is_zero(self, transcript):
+        assert word_error_rate(transcript, transcript) == 0.0
+
+    @given(words, words)
+    def test_symmetry_of_total_edits(self, a, b):
+        # Total edit count is symmetric even though the roles of insertions
+        # and deletions swap.
+        assert edit_distance(a, b).errors == edit_distance(b, a).errors
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        ab = edit_distance(a, b).errors
+        bc = edit_distance(b, c).errors
+        ac = edit_distance(a, c).errors
+        assert ac <= ab + bc
+
+
+class TestBreakdownDataclass:
+    def test_zero_reference_perfect(self):
+        assert WerBreakdown(0, 0, 0, 0).wer == 0.0
+
+    def test_errors_property(self):
+        assert WerBreakdown(1, 2, 3, 10).errors == 6

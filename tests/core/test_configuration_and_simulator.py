@@ -1,0 +1,138 @@
+"""Tests for configuration enumeration, tier simulation and tiers."""
+
+import pytest
+
+from repro.core.configuration import DEFAULT_THRESHOLDS, enumerate_configurations
+from repro.core.simulator import simulate
+from repro.core.tiers import ToleranceTier, default_tolerance_grid
+from repro.service.request import Objective
+
+
+class TestToleranceTier:
+    def test_label(self):
+        tier = ToleranceTier(0.01, Objective.COST)
+        assert tier.label == "1.0% / cost"
+
+    def test_admits(self):
+        tier = ToleranceTier(0.05)
+        assert tier.admits(0.049)
+        assert tier.admits(0.05)
+        assert not tier.admits(0.051)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ToleranceTier(-0.01)
+
+
+class TestToleranceGrid:
+    def test_paper_grid(self):
+        grid = default_tolerance_grid()
+        assert len(grid) == 100
+        assert grid[0] == pytest.approx(0.001)
+        assert grid[-1] == pytest.approx(0.10)
+
+    def test_custom_grid(self):
+        assert default_tolerance_grid(maximum=0.02, step=0.01) == [0.01, 0.02]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_tolerance_grid(maximum=0.0)
+        with pytest.raises(ValueError):
+            default_tolerance_grid(maximum=0.01, step=0.02)
+
+
+class TestEnumerateConfigurations:
+    def test_design_space_size(self, ic_measurements):
+        configurations = enumerate_configurations(
+            ic_measurements, thresholds=(0.4, 0.6), policy_kinds=("single", "seq")
+        )
+        # 5 single versions + 4 fast versions x 2 thresholds
+        assert len(configurations) == 5 + 4 * 2
+
+    def test_config_ids_unique(self, ic_measurements):
+        configurations = enumerate_configurations(ic_measurements)
+        ids = [c.config_id for c in configurations]
+        assert len(set(ids)) == len(ids)
+
+    def test_default_space_uses_default_thresholds(self, ic_measurements):
+        configurations = enumerate_configurations(ic_measurements)
+        expected = 5 + 3 * 4 * len(DEFAULT_THRESHOLDS)
+        assert len(configurations) == expected
+
+    def test_two_version_configs_escalate_to_most_accurate(self, ic_measurements):
+        accurate = ic_measurements.most_accurate_version()
+        for configuration in enumerate_configurations(ic_measurements):
+            if configuration.kind != "single":
+                assert configuration.versions[1] == accurate
+
+    def test_explicit_fast_versions(self, ic_measurements):
+        configurations = enumerate_configurations(
+            ic_measurements,
+            thresholds=(0.5,),
+            policy_kinds=("seq",),
+            fast_versions=["ic_cpu_squeezenet"],
+        )
+        assert len(configurations) == 1
+        assert configurations[0].versions[0] == "ic_cpu_squeezenet"
+
+    def test_validation(self, ic_measurements):
+        with pytest.raises(ValueError):
+            enumerate_configurations(ic_measurements, policy_kinds=("magic",))
+        with pytest.raises(ValueError):
+            enumerate_configurations(ic_measurements, thresholds=(1.5,))
+        with pytest.raises(ValueError):
+            enumerate_configurations(ic_measurements, accurate_version="nope")
+        with pytest.raises(ValueError):
+            enumerate_configurations(ic_measurements, fast_versions=["nope"])
+
+    def test_describe_mentions_policy(self, ic_measurements):
+        configurations = enumerate_configurations(
+            ic_measurements, thresholds=(0.5,), policy_kinds=("seq",)
+        )
+        assert "escalate" in configurations[0].describe()
+
+
+class TestSimulate:
+    def test_baseline_simulation_has_no_gain(self, ic_measurements):
+        configurations = enumerate_configurations(
+            ic_measurements, policy_kinds=("single",)
+        )
+        baseline = next(
+            c
+            for c in configurations
+            if c.versions == (ic_measurements.most_accurate_version(),)
+        )
+        result = simulate(ic_measurements, baseline)
+        assert result.error_degradation == 0.0
+        assert result.response_time_reduction == pytest.approx(0.0)
+        assert result.config_id == baseline.config_id
+
+    def test_fast_single_version_simulation(self, ic_measurements):
+        configurations = enumerate_configurations(
+            ic_measurements, policy_kinds=("single",)
+        )
+        fastest = next(
+            c
+            for c in configurations
+            if c.versions == (ic_measurements.fastest_version(),)
+        )
+        result = simulate(ic_measurements, fastest)
+        assert result.error_degradation > 0.0
+        assert result.response_time_reduction > 0.0
+
+    def test_objective_value_switch(self, ic_measurements):
+        configurations = enumerate_configurations(
+            ic_measurements, policy_kinds=("single",)
+        )
+        result = simulate(ic_measurements, configurations[0])
+        assert result.objective_value("response-time") == result.mean_response_time_s
+        assert result.objective_value("cost") == result.mean_invocation_cost
+        with pytest.raises(ValueError):
+            result.objective_value("accuracy")
+
+    def test_indices_subset(self, ic_measurements):
+        configurations = enumerate_configurations(
+            ic_measurements, policy_kinds=("single",)
+        )
+        result = simulate(ic_measurements, configurations[0], indices=range(100))
+        assert result.mean_response_time_s > 0.0

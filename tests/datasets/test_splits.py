@@ -1,0 +1,55 @@
+"""Tests for dataset split helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import DatasetSplit, cross_validation_splits, train_test_split
+
+
+class TestDatasetSplit:
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            DatasetSplit(train_indices=(0, 1, 2), test_indices=(2, 3))
+
+    def test_counts(self):
+        split = DatasetSplit(train_indices=(0, 1, 2), test_indices=(3,))
+        assert split.n_train == 3
+        assert split.n_test == 1
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        split = train_test_split(10, test_fraction=0.3)
+        assert split.n_test == 3
+        assert split.n_train == 7
+        assert set(split.train_indices) | set(split.test_indices) == set(range(10))
+
+    def test_shuffled_with_rng(self):
+        split = train_test_split(50, test_fraction=0.2, rng=np.random.default_rng(0))
+        assert set(split.train_indices) | set(split.test_indices) == set(range(50))
+
+    def test_at_least_one_each_side(self):
+        split = train_test_split(2, test_fraction=0.01)
+        assert split.n_test == 1
+        assert split.n_train == 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, test_fraction=1.5)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            train_test_split(1)
+
+
+class TestCrossValidationSplits:
+    def test_ten_fold_partition(self):
+        splits = cross_validation_splits(37, folds=10, rng=np.random.default_rng(1))
+        assert len(splits) == 10
+        all_test = [i for split in splits for i in split.test_indices]
+        assert sorted(all_test) == list(range(37))
+
+    def test_each_fold_is_disjoint(self):
+        for split in cross_validation_splits(20, folds=4):
+            assert set(split.train_indices).isdisjoint(split.test_indices)
+            assert split.n_train + split.n_test == 20

@@ -1,0 +1,135 @@
+"""Tests for service requests, instance catalogue and pricing."""
+
+import pytest
+
+from repro.service.instances import INSTANCE_CATALOG, InstanceType, get_instance_type
+from repro.service.pricing import CostBreakdown, PricingModel
+from repro.service.request import Objective, ServiceRequest, ServiceResponse
+
+
+class TestObjective:
+    def test_parse_response_time(self):
+        assert Objective.from_header("response-time") is Objective.RESPONSE_TIME
+
+    def test_parse_cost_case_insensitive(self):
+        assert Objective.from_header("  COST ") is Objective.COST
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            Objective.from_header("latency")
+
+
+class TestServiceRequest:
+    def test_defaults(self):
+        request = ServiceRequest(request_id="r1", payload="data")
+        assert request.tolerance == 0.0
+        assert request.objective is Objective.RESPONSE_TIME
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            ServiceRequest(request_id="r1", payload=None, tolerance=-0.1)
+
+    def test_from_headers_parses_annotation(self):
+        request = ServiceRequest.from_headers(
+            "r2",
+            "payload",
+            {"Tolerance": "0.01", "Objective": "cost", "X-Consumer": "app-7"},
+        )
+        assert request.tolerance == pytest.approx(0.01)
+        assert request.objective is Objective.COST
+        assert request.metadata["X-Consumer"] == "app-7"
+
+    def test_from_headers_defaults_when_missing(self):
+        request = ServiceRequest.from_headers("r3", None, {})
+        assert request.tolerance == 0.0
+        assert request.objective is Objective.RESPONSE_TIME
+
+
+class TestInstanceCatalog:
+    def test_known_types(self):
+        assert "cpu.medium" in INSTANCE_CATALOG
+        assert get_instance_type("gpu.k80").is_gpu
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError):
+            get_instance_type("tpu.v4")
+
+    def test_price_per_second(self):
+        inst = get_instance_type("cpu.medium")
+        assert inst.price_per_second == pytest.approx(inst.hourly_price / 3600)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceType(name="bad", hourly_price=0.0, speed_factor=1.0)
+        with pytest.raises(ValueError):
+            InstanceType(name="bad", hourly_price=1.0, speed_factor=0.0)
+
+
+class TestPricingModel:
+    @pytest.fixture()
+    def pricing(self):
+        return PricingModel(
+            {
+                "fast": get_instance_type("cpu.medium"),
+                "slow": get_instance_type("cpu.large"),
+            },
+            per_request_fee=0.001,
+            markup=2.0,
+        )
+
+    def test_compute_cost(self, pricing):
+        expected = 10.0 * get_instance_type("cpu.medium").price_per_second
+        assert pricing.compute_cost("fast", 10.0) == pytest.approx(expected)
+
+    def test_compute_cost_rejects_negative(self, pricing):
+        with pytest.raises(ValueError):
+            pricing.compute_cost("fast", -1.0)
+
+    def test_unknown_version(self, pricing):
+        with pytest.raises(KeyError):
+            pricing.compute_cost("huge", 1.0)
+
+    def test_request_cost_includes_fee_and_markup(self, pricing):
+        breakdown = pricing.request_cost({"fast": 2.0})
+        iaas = 2.0 * get_instance_type("cpu.medium").price_per_second
+        assert breakdown.iaas_cost == pytest.approx(iaas)
+        assert breakdown.invocation_cost == pytest.approx(0.001 + 2.0 * iaas)
+        assert breakdown.n_requests == 1
+
+    def test_batch_cost_aggregates(self, pricing):
+        batch = pricing.batch_cost({"r1": {"fast": 1.0}, "r2": {"slow": 1.0}})
+        assert batch.n_requests == 2
+        assert set(batch.per_version_iaas) == {"fast", "slow"}
+        assert batch.mean_invocation_cost > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PricingModel({}, per_request_fee=0.0)
+        with pytest.raises(ValueError):
+            PricingModel({"v": get_instance_type("cpu.medium")}, markup=0.0)
+
+    def test_cost_breakdown_add(self):
+        a = CostBreakdown(1.0, 0.5, {"v": 0.5}, 1)
+        b = CostBreakdown(2.0, 1.0, {"v": 0.5, "w": 0.5}, 2)
+        merged = a.add(b)
+        assert merged.invocation_cost == pytest.approx(3.0)
+        assert merged.per_version_iaas["v"] == pytest.approx(1.0)
+        assert merged.n_requests == 3
+
+    def test_empty_breakdown_mean(self):
+        assert CostBreakdown().mean_invocation_cost == 0.0
+
+
+class TestServiceResponse:
+    def test_fields(self):
+        response = ServiceResponse(
+            request_id="r1",
+            result="hello",
+            versions_used=("v1",),
+            response_time_s=0.1,
+            invocation_cost=0.002,
+            tier=0.01,
+            confidence=0.9,
+        )
+        assert response.result == "hello"
+        assert response.tier == 0.01

@@ -1,0 +1,88 @@
+"""Tests for repro.stats.confidence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.confidence import (
+    ConfidenceTest,
+    normal_quantile,
+    spread_is_confident,
+    zscores,
+)
+
+
+class TestNormalQuantile:
+    def test_known_values(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+        assert normal_quantile(0.999) == pytest.approx(3.0902, abs=1e-3)
+
+    def test_monotone(self):
+        assert normal_quantile(0.99) < normal_quantile(0.999)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            normal_quantile(bad)
+
+
+class TestZscores:
+    def test_standardisation(self):
+        z = zscores([1.0, 2.0, 3.0])
+        assert z.mean() == pytest.approx(0.0, abs=1e-12)
+        assert z.std() == pytest.approx(1.0)
+
+    def test_constant_sample_maps_to_zeros(self):
+        assert np.allclose(zscores([5.0, 5.0, 5.0]), 0.0)
+
+    def test_empty(self):
+        assert zscores([]).size == 0
+
+
+class TestSpreadIsConfident:
+    def test_single_value_never_confident(self):
+        assert not spread_is_confident([1.0], 0.9)
+
+    def test_wide_spread_is_confident_at_moderate_confidence(self):
+        # With ~68 % confidence the quantile is ~0.47 sigma, which a widely
+        # spread sample easily straddles.
+        values = list(np.linspace(0.0, 10.0, 30))
+        assert spread_is_confident(values, 0.68)
+
+    def test_constant_sample_needs_enough_trials(self):
+        assert not spread_is_confident([2.0, 2.0], 0.999)
+        assert spread_is_confident([2.0] * 40, 0.999)
+
+    @given(st.floats(min_value=0.9, max_value=0.999))
+    def test_two_identical_values_not_confident_at_high_confidence(self, confidence):
+        # A constant two-trial sample cannot certify a high-confidence bound.
+        assert not spread_is_confident([1.0, 1.0], confidence)
+
+
+class TestConfidenceTest:
+    def test_requires_min_trials(self):
+        test = ConfidenceTest(confidence=0.9, min_trials=5, max_trials=50)
+        assert not test.is_satisfied([1.0, 2.0, 3.0])
+
+    def test_max_trials_forces_satisfaction(self):
+        test = ConfidenceTest(confidence=0.999, min_trials=2, max_trials=5)
+        assert test.is_satisfied([1.0, 1.1, 1.2, 1.3, 1.4])
+
+    def test_all_satisfied_requires_every_column(self):
+        test = ConfidenceTest(confidence=0.9, min_trials=2, max_trials=4)
+        enough = [1.0, 2.0, 3.0, 4.0]
+        assert test.all_satisfied([enough, enough])
+        assert not test.all_satisfied([enough, [1.0]])
+
+    def test_all_satisfied_empty_columns_is_false(self):
+        test = ConfidenceTest()
+        assert not test.all_satisfied([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceTest(confidence=1.5)
+        with pytest.raises(ValueError):
+            ConfidenceTest(min_trials=1)
+        with pytest.raises(ValueError):
+            ConfidenceTest(min_trials=10, max_trials=5)

@@ -1,0 +1,97 @@
+"""Tests for repro.stats.resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.resampling import (
+    bootstrap_indices,
+    bootstrap_statistic,
+    kfold_indices,
+    subsample_indices,
+)
+
+
+class TestBootstrapIndices:
+    def test_range_and_size(self, rng):
+        idx = bootstrap_indices(10, rng=rng)
+        assert idx.shape == (10,)
+        assert idx.min() >= 0 and idx.max() < 10
+
+    def test_custom_size(self, rng):
+        assert bootstrap_indices(10, size=3, rng=rng).shape == (3,)
+
+    def test_rejects_bad_population(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_indices(0, rng=rng)
+
+    def test_rejects_bad_size(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_indices(5, size=0, rng=rng)
+
+
+class TestSubsampleIndices:
+    def test_no_replacement(self, rng):
+        idx = subsample_indices(20, 10, rng=rng)
+        assert len(set(idx.tolist())) == 10
+
+    def test_size_clipped_to_population(self, rng):
+        idx = subsample_indices(5, 50, rng=rng)
+        assert idx.shape == (5,)
+
+    def test_size_floor_of_one(self, rng):
+        assert subsample_indices(5, 0, rng=rng).shape == (1,)
+
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=100))
+    def test_always_within_population(self, n, size):
+        idx = subsample_indices(n, size, rng=np.random.default_rng(0))
+        assert idx.min() >= 0 and idx.max() < n
+
+
+class TestBootstrapStatistic:
+    def test_mean_statistic_centred(self, rng):
+        values = np.arange(100, dtype=float)
+        stats = bootstrap_statistic(values, np.mean, trials=200, rng=rng)
+        assert stats.shape == (200,)
+        assert abs(stats.mean() - values.mean()) < 2.0
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_statistic([], np.mean, trials=10, rng=rng)
+
+    def test_rejects_bad_trials(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_statistic([1.0], np.mean, trials=0, rng=rng)
+
+
+class TestKfoldIndices:
+    def test_partition_properties(self, rng):
+        folds = kfold_indices(23, 5, rng=rng)
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(23))
+        for train, test in folds:
+            assert set(train.tolist()).isdisjoint(set(test.tolist()))
+            assert len(train) + len(test) == 23
+
+    def test_deterministic_without_rng(self):
+        folds_a = kfold_indices(10, 2)
+        folds_b = kfold_indices(10, 2)
+        for (tr_a, te_a), (tr_b, te_b) in zip(folds_a, folds_b):
+            assert np.array_equal(tr_a, tr_b)
+            assert np.array_equal(te_a, te_b)
+
+    def test_rejects_too_many_folds(self):
+        with pytest.raises(ValueError):
+            kfold_indices(3, 4)
+
+    def test_rejects_single_fold(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1)
+
+    @given(st.integers(min_value=4, max_value=60), st.integers(min_value=2, max_value=4))
+    def test_fold_sizes_balanced(self, n, folds):
+        pairs = kfold_indices(n, folds, rng=np.random.default_rng(1))
+        sizes = [len(test) for _, test in pairs]
+        assert max(sizes) - min(sizes) <= 1

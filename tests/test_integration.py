@@ -1,0 +1,121 @@
+"""End-to-end integration tests spanning all packages.
+
+These tests walk the same path the paper's evaluation does, at miniature
+scale: measure a service under every version, analyse the "one size fits
+all" limitation, generate Tolerance Tier routing rules with statistical
+confidence, and verify the tiers save time/cost on held-out requests
+without violating their accuracy guarantees.
+"""
+
+import pytest
+
+from repro.analysis import categorize_requests, osfa_limit_summary, version_pareto
+from repro.core import (
+    RoutingRuleGenerator,
+    TierRouter,
+    enumerate_configurations,
+    evaluate_policy,
+)
+from repro.service.request import Objective
+
+
+@pytest.fixture(scope="module")
+def asr_rules(request):
+    asr_measurements = request.getfixturevalue("asr_measurements")
+    configurations = enumerate_configurations(
+        asr_measurements,
+        thresholds=(0.4, 0.5, 0.6, 0.7),
+        fast_versions=["asr_v3", "asr_v4", "asr_v5"],
+    )
+    generator = RoutingRuleGenerator(
+        asr_measurements,
+        configurations,
+        confidence=0.95,
+        seed=3,
+        min_trials=6,
+        max_trials=30,
+    )
+    return asr_measurements, generator
+
+
+class TestAsrEndToEnd:
+    def test_limitation_analysis(self, asr_measurements):
+        summary = osfa_limit_summary(asr_measurements)
+        assert summary.latency_ratio > 1.5
+        assert summary.error_reduction > 0.2
+        points = version_pareto(asr_measurements)
+        assert any(p.on_frontier for p in points)
+        shares = categorize_requests(asr_measurements, tolerance=1e-6).shares()
+        assert shares["unchanged"] > 0.2
+
+    def test_rules_save_latency_within_tolerance(self, asr_rules):
+        measurements, generator = asr_rules
+        table = generator.generate([0.01, 0.05, 0.10], Objective.RESPONSE_TIME)
+        reductions = []
+        for tolerance in (0.01, 0.05, 0.10):
+            configuration = table.config_for(tolerance)
+            metrics = evaluate_policy(measurements, configuration.policy)
+            assert metrics.error_degradation <= tolerance + 1e-9
+            reductions.append(metrics.response_time_reduction)
+        # more tolerance never hurts
+        assert reductions == sorted(reductions)
+        assert reductions[-1] > 0.0
+
+    def test_router_combines_objectives(self, asr_rules):
+        _, generator = asr_rules
+        router = TierRouter(
+            {
+                Objective.RESPONSE_TIME: generator.generate(
+                    [0.05], Objective.RESPONSE_TIME
+                ),
+                Objective.COST: generator.generate([0.05], Objective.COST),
+            }
+        )
+        time_cfg = router.route(0.05, Objective.RESPONSE_TIME)
+        cost_cfg = router.route(0.05, Objective.COST)
+        assert time_cfg.versions
+        assert cost_cfg.versions
+
+
+class TestIcEndToEnd:
+    def test_tiers_beat_osfa_on_both_objectives(self, ic_measurements):
+        configurations = enumerate_configurations(
+            ic_measurements,
+            thresholds=(0.5, 0.6),
+            fast_versions=["ic_cpu_squeezenet", "ic_cpu_googlenet"],
+        )
+        generator = RoutingRuleGenerator(
+            ic_measurements,
+            configurations,
+            confidence=0.95,
+            seed=4,
+            min_trials=6,
+            max_trials=25,
+        )
+        for objective in ("response-time", "cost"):
+            table = generator.generate([0.10], objective)
+            configuration = table.config_for(0.10)
+            metrics = evaluate_policy(ic_measurements, configuration.policy)
+            assert metrics.error_degradation <= 0.10 + 1e-9
+            assert metrics.response_time_reduction >= 0.0
+            assert metrics.cost_reduction >= -1e-9
+
+    def test_gpu_service_also_improves(self, ic_gpu_measurements):
+        configurations = enumerate_configurations(
+            ic_gpu_measurements,
+            thresholds=(0.5, 0.6),
+            fast_versions=["ic_gpu_squeezenet"],
+        )
+        generator = RoutingRuleGenerator(
+            ic_gpu_measurements,
+            configurations,
+            confidence=0.9,
+            seed=5,
+            min_trials=6,
+            max_trials=20,
+        )
+        table = generator.generate([0.10], "response-time")
+        metrics = evaluate_policy(
+            ic_gpu_measurements, table.config_for(0.10).policy
+        )
+        assert metrics.error_degradation <= 0.10 + 1e-9
