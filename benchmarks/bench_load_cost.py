@@ -1,0 +1,145 @@
+"""LOAD2 — serving cost vs offered load, with pool autoscaling.
+
+The cost companion to LOAD1: the same event-driven load sweep, but the
+tier configurations come from the *cost* objective and both deployments
+run under the queue-depth/utilization autoscaler, so pools grow with the
+offered rate and shrink back when the queue drains.  Reported per sweep
+point: mean billed invocation cost, provider-side node-seconds per
+version, tail latency, and the autoscaler's footprint (scaling actions
+and final pool sizes).  The tiered deployment should serve the same load
+for at most the OSFA billed cost per request at one or more sweep points
+(the 10 % cost tier routes most requests to cheap fast-version nodes).
+
+Smoke mode (for CI): set ``REPRO_BENCH_SMOKE=1``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_load_cost.py -q -s
+"""
+
+import os
+
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.core.configuration import EnsembleConfiguration
+from repro.core.policies import SingleVersionPolicy
+from repro.service.simulation import (
+    Autoscaler,
+    AutoscalerConfig,
+    BatchingConfig,
+    PoissonArrivals,
+    ServingSimulator,
+    build_replay_cluster,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+TIER = 0.10
+N_REQUESTS = 300 if SMOKE else 1200
+LOAD_FRACTIONS = (0.7,) if SMOKE else (0.4, 0.7, 0.95)
+#: Every pool starts at one node; the autoscaler does the sizing.
+INITIAL_NODES = 1
+BATCHING = BatchingConfig(max_batch_size=4, max_wait_s=0.01)
+
+
+def _autoscaler():
+    return Autoscaler(
+        AutoscalerConfig(
+            min_nodes=INITIAL_NODES,
+            max_nodes=8,
+            scale_up_queue_depth=3.0,
+            evaluation_interval_s=0.5,
+            cooldown_s=1.0,
+        )
+    )
+
+
+def _pools(configuration):
+    return {version: INITIAL_NODES for version in configuration.versions}
+
+
+def _run(measurements, *, rate, configuration, seed):
+    cluster = build_replay_cluster(measurements, _pools(configuration))
+    simulator = ServingSimulator(
+        cluster,
+        configuration=configuration,
+        batching=BATCHING,
+        autoscaler=_autoscaler(),
+        seed=seed,
+    )
+    return simulator.run(
+        PoissonArrivals(rate),
+        N_REQUESTS,
+        tolerance=TIER,
+        payload_ids=measurements.request_ids,
+    )
+
+
+def test_load_cost_sweep(ic_cpu_measurements, ic_cpu_generator):
+    measurements = ic_cpu_measurements
+    accurate = measurements.most_accurate_version()
+    osfa_config = EnsembleConfiguration("osfa", SingleVersionPolicy(accurate))
+    table = ic_cpu_generator.generate([TIER], "cost")
+    tier_config = table.config_for(TIER)
+
+    capacity = 4 / measurements.mean_latency(accurate)
+    rows, payload = [], []
+    tiered_wins = 0
+    for fraction in LOAD_FRACTIONS:
+        rate = fraction * capacity
+        osfa = _run(measurements, rate=rate, configuration=osfa_config, seed=7)
+        tiered = _run(measurements, rate=rate, configuration=tier_config, seed=7)
+        payload.append(
+            {
+                "load_fraction": fraction,
+                "offered_rate_rps": rate,
+                "osfa": {
+                    **osfa.summary(),
+                    "node_seconds": osfa.total_node_seconds,
+                    "final_pool_sizes": osfa.final_pool_sizes,
+                },
+                "tiered": {
+                    **tiered.summary(),
+                    "node_seconds": tiered.total_node_seconds,
+                    "final_pool_sizes": tiered.final_pool_sizes,
+                },
+            }
+        )
+        for name, report in (("osfa", osfa), ("tiered", tiered)):
+            rows.append(
+                [
+                    f"{fraction:.0%}",
+                    name,
+                    1000.0 * report.mean_invocation_cost,
+                    sum(report.total_node_seconds.values()),
+                    report.p95_latency_s,
+                    len(report.scaling_events),
+                    sum(report.final_pool_sizes.values()),
+                ]
+            )
+        if tiered.mean_invocation_cost <= osfa.mean_invocation_cost * (1 + 1e-9):
+            tiered_wins += 1
+        assert osfa.n_requests == N_REQUESTS
+        assert tiered.n_requests == N_REQUESTS
+        # the autoscaler reacted to load at every non-trivial rate
+        if fraction >= 0.7:
+            assert osfa.scaling_events or tiered.scaling_events
+
+    # The cost tier serves the same offered load no more expensively than
+    # OSFA at one or more sweep points.
+    assert tiered_wins >= 1
+
+    print()
+    print(
+        format_table(
+            ["load", "deployment", "$/1k req", "node-s", "p95 (s)", "scalings", "final nodes"],
+            rows,
+            title=(
+                f"LOAD2 serving cost vs offered load "
+                f"(tier={TIER:.0%}, autoscaled, tiered config: {tier_config.name})"
+            ),
+            float_format=".4f",
+        )
+    )
+    save_artifact("load_cost_sweep", {"sweep": payload})

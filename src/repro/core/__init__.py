@@ -24,6 +24,10 @@ The package follows the paper's architecture (Section IV):
   (the ``Tolerance:`` / ``Objective:`` annotated request interface).
 * :mod:`repro.core.learned_router` -- the learned-escalation baseline the
   paper compared against (and found no better than the simple policies).
+
+The replay machinery here is contention-free by design; evaluating the
+same tiers under offered load (queueing, batching, autoscaling) lives in
+:mod:`repro.service.simulation`.
 """
 
 from repro.core.api import ToleranceTiersService

@@ -5,6 +5,16 @@ fast lookup from the ``(Tolerance, Objective)`` headers of an incoming
 request to the ensemble configuration that should serve it.
 :class:`RoutingRuleTable` is the per-objective lookup table the generator
 emits, and :class:`TierRouter` bundles the tables for all objectives.
+
+Two online consumers share this router:
+
+* :class:`~repro.core.api.ToleranceTiersService` executes the chosen
+  configuration synchronously against a live cluster (one request at a
+  time, no contention), and
+* :class:`~repro.service.simulation.engine.ServingSimulator` executes it
+  under offered load inside a discrete-event loop, where the same routing
+  decision additionally determines which pools' queues the request joins
+  (via :meth:`TierRouter.route_request`).
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.bootstrap import WorstCaseEstimate
 from repro.core.configuration import EnsembleConfiguration
-from repro.service.request import Objective
+from repro.service.request import Objective, ServiceRequest
 
 __all__ = ["RoutingRuleTable", "TierRouter"]
 
@@ -121,3 +131,12 @@ class TierRouter:
         if isinstance(objective, str):
             objective = Objective.from_header(objective)
         return self.table_for(objective).config_for(tolerance)
+
+    def route_request(self, request: ServiceRequest) -> EnsembleConfiguration:
+        """Pick the configuration serving an annotated request.
+
+        Convenience wrapper over :meth:`route` reading the request's
+        ``Tolerance`` / ``Objective`` annotation directly; this is the
+        entry point the serving simulator calls once per arrival.
+        """
+        return self.route(request.tolerance, request.objective)

@@ -5,6 +5,17 @@ generator (Fig. 7): given a subset of the training measurements and one
 candidate configuration, report the three numbers the generator cares about
 — error degradation versus the most accurate version, mean response time,
 and mean invocation cost.
+
+Scope note: this replay is *contention-free* — each request is scored in
+isolation, so response times contain no queueing delay and costs assume no
+batching.  That is exactly what the offline rule generator needs (it ranks
+configurations, it does not size clusters).  To evaluate the same
+configurations under offered load — arrival processes, per-node FIFO
+queues, request batching, autoscaling — use the discrete-event engine in
+:mod:`repro.service.simulation` (:class:`~repro.service.simulation.engine.ServingSimulator`),
+which replays the very same measurements through
+:class:`~repro.service.simulation.replay.MeasurementReplayVersion` and
+reports tail percentiles instead of means.
 """
 
 from __future__ import annotations
@@ -28,7 +39,9 @@ class TierSimulation:
         config_id: Identifier of the simulated configuration.
         error_degradation: Relative error degradation versus the most
             accurate single version on the same sample.
-        mean_response_time_s: Mean end-to-end response time.
+        mean_response_time_s: Mean end-to-end response time (service time
+            only; see the module docstring for the load-aware counterpart,
+            :class:`~repro.service.simulation.report.LoadTestReport`).
         mean_invocation_cost: Mean billed cost per request.
         response_time_reduction: Saving versus the OSFA baseline.
         cost_reduction: Saving versus the OSFA baseline.
@@ -64,6 +77,10 @@ def simulate(
     degradation_mode: str = "relative",
 ) -> TierSimulation:
     """Simulate one configuration over (a sample of) the measurements.
+
+    This is the generator's contention-free inner loop; for the same
+    configuration under offered load, drive a
+    :class:`~repro.service.simulation.engine.ServingSimulator` instead.
 
     Args:
         measurements: The service's measurement set.

@@ -20,6 +20,9 @@ and per node-hour.
 * :mod:`repro.service.measurement` -- per-request, per-version measurement
   records: the substrate the Tolerance Tiers rule generator and the
   limitation analysis both operate on.
+* :mod:`repro.service.simulation` -- the discrete-event serving simulator:
+  offered-load arrival processes, per-node FIFO queues, request batching
+  and pool autoscaling over the same deployments.
 """
 
 from repro.service.cluster import ClusterDeployment, NodePool
@@ -28,7 +31,12 @@ from repro.service.instances import (
     InstanceType,
     get_instance_type,
 )
-from repro.service.load_balancer import LoadBalancer, RoundRobinPolicy
+from repro.service.load_balancer import (
+    JoinShortestQueuePolicy,
+    LeastBusyPolicy,
+    LoadBalancer,
+    RoundRobinPolicy,
+)
 from repro.service.measurement import (
     MeasurementSet,
     VersionMeasurement,
@@ -36,7 +44,13 @@ from repro.service.measurement import (
     measure_ic_service,
     measure_mini_ic_service,
 )
-from repro.service.node import ServiceNode, ServiceVersion, VersionResult
+from repro.service.node import (
+    NodeCompletion,
+    QueuedRequest,
+    ServiceNode,
+    ServiceVersion,
+    VersionResult,
+)
 from repro.service.pricing import CostBreakdown, PricingModel
 from repro.service.request import Objective, ServiceRequest, ServiceResponse
 
@@ -45,11 +59,15 @@ __all__ = [
     "CostBreakdown",
     "INSTANCE_CATALOG",
     "InstanceType",
+    "JoinShortestQueuePolicy",
+    "LeastBusyPolicy",
     "LoadBalancer",
     "MeasurementSet",
+    "NodeCompletion",
     "NodePool",
     "Objective",
     "PricingModel",
+    "QueuedRequest",
     "RoundRobinPolicy",
     "ServiceNode",
     "ServiceRequest",

@@ -5,12 +5,26 @@ the pricing model that bills work done on them.  The conventional
 "one size fits all" deployment is the special case of a single pool running
 the provider's chosen version; a Tolerance Tiers deployment keeps pools for
 several versions so the routing policies have somewhere to send requests.
+
+Deployments serve through two interfaces that share one execution path:
+
+* the synchronous replay calls (:meth:`ClusterDeployment.serve_with_version`
+  / :meth:`ClusterDeployment.raw_dispatch`) kept for the measurement-replay
+  benchmarks, and
+* the async-style :meth:`ClusterDeployment.submit` /
+  :meth:`ClusterDeployment.drain` pair, which enqueues onto per-node FIFO
+  queues and is what the discrete-event engine in
+  :mod:`repro.service.simulation` paces under a virtual clock.
+
+Pools can also grow and shrink at runtime
+(:meth:`ClusterDeployment.add_nodes` / :meth:`ClusterDeployment.remove_node`)
+so the simulation autoscaler has something to actuate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.service.instances import InstanceType
 from repro.service.load_balancer import LoadBalancer
@@ -39,12 +53,13 @@ class NodePool:
         if self.n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
 
+    def build_node(self) -> ServiceNode:
+        """Instantiate one node to the pool's specification."""
+        return ServiceNode(self.version, self.instance_type)
+
     def build_nodes(self) -> List[ServiceNode]:
         """Instantiate the pool's nodes."""
-        return [
-            ServiceNode(self.version, self.instance_type)
-            for _ in range(self.n_nodes)
-        ]
+        return [self.build_node() for _ in range(self.n_nodes)]
 
 
 class ClusterDeployment:
@@ -54,6 +69,9 @@ class ClusterDeployment:
         pools: Pool specification per service-version name.
         per_request_fee: Platform fee billed per invocation.
         markup: Consumer-billing markup over raw IaaS cost.
+        selection_policy: Within-pool node selection policy, forwarded to
+            the :class:`~repro.service.load_balancer.LoadBalancer`
+            (round-robin when omitted).
     """
 
     def __init__(
@@ -62,14 +80,22 @@ class ClusterDeployment:
         *,
         per_request_fee: float = 0.0,
         markup: float = 3.0,
+        selection_policy=None,
     ) -> None:
         if not pools:
             raise ValueError("a deployment needs at least one pool")
         self._pool_specs = dict(pools)
-        self._nodes: Dict[str, List[ServiceNode]] = {
-            name: spec.build_nodes() for name, spec in self._pool_specs.items()
+        # The load balancer is the single source of truth for pool
+        # membership; the deployment never keeps its own node lists.
+        self.load_balancer = LoadBalancer(
+            {name: spec.build_nodes() for name, spec in self._pool_specs.items()},
+            selection_policy=selection_policy,
+        )
+        # IaaS cost of nodes evicted by scale-down, so iaas_spend() keeps
+        # counting money already spent on machines no longer in the pool.
+        self._retired_iaas: Dict[str, float] = {
+            name: 0.0 for name in self._pool_specs
         }
-        self.load_balancer = LoadBalancer(self._nodes)
         self.pricing = PricingModel(
             {name: spec.instance_type for name, spec in self._pool_specs.items()},
             per_request_fee=per_request_fee,
@@ -103,20 +129,141 @@ class ClusterDeployment:
     def serve_with_version(
         self, version: str, request: ServiceRequest
     ) -> ServiceResponse:
-        """Serve one request with one specific version (no ensembling)."""
-        result, latency = self.load_balancer.dispatch(
-            version, request.request_id, request.payload
+        """Serve one request with one specific version (no ensembling).
+
+        Delegates to the :meth:`submit` / :meth:`drain` queueing path, so a
+        replayed request and a simulated one execute identically — the only
+        difference is who advances the clock.
+
+        Billing note: the invocation cost is computed from the *wall*
+        node-seconds the request consumed (compute divided by the node's
+        speed factor), matching the live endpoint in :mod:`repro.core.api`.
+        Earlier revisions billed baseline compute-seconds, which overstated
+        cost on faster-than-baseline instances.
+
+        Raises:
+            RuntimeError: If requests are already queued anywhere on the
+                deployment — draining them here would execute and discard
+                their responses; call :meth:`drain` first.
+        """
+        pending = {v: d for v, d in self.queue_depths().items() if d}
+        if pending:
+            raise RuntimeError(
+                f"deployment has queued work {pending}; drain() it before "
+                "calling serve_with_version()"
+            )
+        self.submit(version, request)
+        responses = self.drain()
+        for response in responses:
+            if response.request_id == request.request_id:
+                return response
+        raise RuntimeError(
+            f"request {request.request_id!r} was submitted but never drained"
         )
-        cost = self.pricing.request_cost({version: result.compute_seconds})
-        return ServiceResponse(
-            request_id=request.request_id,
-            result=result.output,
-            versions_used=(version,),
-            response_time_s=latency,
-            invocation_cost=cost.invocation_cost,
-            tier=None,
-            confidence=result.confidence,
+
+    # ------------------------------------------------------------------
+    # async-style queueing interface
+    # ------------------------------------------------------------------
+    def submit(
+        self, version: str, request: ServiceRequest, *, now: float = 0.0
+    ) -> ServiceNode:
+        """Enqueue a request on a node of ``version``'s pool.
+
+        Returns the node the load balancer chose.  Nothing executes until
+        :meth:`drain` (replay path) or the simulation engine's event loop
+        (load-test path) runs the queues.
+        """
+        return self.load_balancer.submit(
+            version, request.request_id, request.payload, now=now
         )
+
+    def drain(self, *, now: float = 0.0, batching=None) -> List[ServiceResponse]:
+        """Execute all queued work and bill each completion.
+
+        Args:
+            now: Virtual time draining starts.
+            batching: Optional
+                :class:`~repro.service.simulation.batching.BatchingConfig`;
+                batched requests are billed their amortized share of the
+                batch's node-seconds.
+
+        Returns:
+            One :class:`ServiceResponse` per completed request, in
+            execution order across pools.
+        """
+        responses: List[ServiceResponse] = []
+        for version, completions in self.load_balancer.drain(
+            now=now, batching=batching
+        ).items():
+            for completion in completions:
+                cost = self.pricing.request_cost(
+                    {version: completion.amortized_seconds}
+                )
+                responses.append(
+                    ServiceResponse(
+                        request_id=completion.result.request_id,
+                        result=completion.result.output,
+                        versions_used=(version,),
+                        response_time_s=completion.service_time_s,
+                        invocation_cost=cost.invocation_cost,
+                        tier=None,
+                        confidence=completion.result.confidence,
+                    )
+                )
+        return responses
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Requests queued (not yet started) per version."""
+        return self.load_balancer.queue_depths()
+
+    # ------------------------------------------------------------------
+    # pool scaling (autoscaler actuation)
+    # ------------------------------------------------------------------
+    def pool_sizes(self) -> Dict[str, int]:
+        """Current node count per version."""
+        return {
+            version: self.load_balancer.pool_size(version)
+            for version in self.load_balancer.versions
+        }
+
+    def add_nodes(self, version: str, n: int = 1) -> List[ServiceNode]:
+        """Grow a version's pool by ``n`` freshly built nodes."""
+        if n < 1:
+            raise ValueError("must add at least one node")
+        try:
+            spec = self._pool_specs[version]
+        except KeyError:
+            raise KeyError(
+                f"unknown service version {version!r}; registered versions "
+                f"are {sorted(self._pool_specs)}"
+            ) from None
+        added = []
+        for _ in range(n):
+            node = spec.build_node()
+            self.load_balancer.add_node(version, node)
+            added.append(node)
+        return added
+
+    def remove_node(
+        self,
+        version: str,
+        *,
+        now: Optional[float] = None,
+        only_idle: bool = True,
+    ) -> Optional[ServiceNode]:
+        """Shrink a version's pool by one idle node (see
+        :meth:`~repro.service.load_balancer.LoadBalancer.remove_node`).
+
+        The removed node's accumulated IaaS cost stays on the deployment's
+        books — :meth:`iaas_spend` reports money spent, and eviction does
+        not refund it.
+        """
+        node = self.load_balancer.remove_node(
+            version, now=now, only_idle=only_idle
+        )
+        if node is not None:
+            self._retired_iaas[version] += node.accumulated_cost
+        return node
 
     def raw_dispatch(
         self, version: str, request: ServiceRequest
@@ -134,14 +281,23 @@ class ClusterDeployment:
         return self.pricing.request_cost(node_seconds_by_version)
 
     def iaas_spend(self) -> Dict[str, float]:
-        """Accumulated IaaS cost per version since deployment (or reset)."""
-        spend: Dict[str, float] = {}
-        for name, nodes in self._nodes.items():
-            spend[name] = sum(node.accumulated_cost for node in nodes)
-        return spend
+        """Accumulated IaaS cost per version since deployment (or reset).
+
+        Includes the spend of nodes that have since been removed by
+        scale-down.
+        """
+        return {
+            name: self._retired_iaas[name]
+            + sum(
+                node.accumulated_cost
+                for node in self.load_balancer.nodes_of(name)
+            )
+            for name in self.load_balancer.versions
+        }
 
     def reset_accounting(self) -> None:
-        """Zero all per-node accounting counters."""
-        for nodes in self._nodes.values():
-            for node in nodes:
+        """Zero all per-node accounting counters and retired-node spend."""
+        for name in self.load_balancer.versions:
+            self._retired_iaas[name] = 0.0
+            for node in self.load_balancer.nodes_of(name):
                 node.reset_accounting()

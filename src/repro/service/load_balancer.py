@@ -6,19 +6,38 @@ node running the right service version.  Tolerance Tiers extends that load
 balancer with routing *policies* (which version(s) to use per tier); the
 mechanics of picking a node inside a version's pool stay the same and live
 here.
+
+Beyond the synchronous :meth:`LoadBalancer.dispatch` replay call, the
+balancer exposes the queueing interface the discrete-event engine in
+:mod:`repro.service.simulation` consumes — :meth:`LoadBalancer.submit`
+enqueues onto a selected node's FIFO queue and :meth:`LoadBalancer.drain`
+executes all queued work — plus pool mutation (:meth:`LoadBalancer.add_node`
+/ :meth:`LoadBalancer.remove_node`) so an autoscaler can grow and shrink
+pools while requests are in flight.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.service.node import ServiceNode, VersionResult
+from repro.service.node import NodeCompletion, ServiceNode, VersionResult
 
-__all__ = ["LoadBalancer", "RoundRobinPolicy", "LeastBusyPolicy"]
+__all__ = [
+    "JoinShortestQueuePolicy",
+    "LeastBusyPolicy",
+    "LoadBalancer",
+    "RoundRobinPolicy",
+]
 
 
 class RoundRobinPolicy:
-    """Select nodes in cyclic order, independent of load."""
+    """Select nodes in cyclic order, independent of load.
+
+    The per-version cursor is kept bounded (always in ``[0, len(pool))``)
+    and snaps back to the head of the pool whenever the pool shrank below
+    the cursor since the last call, so autoscaling a pool down never skews
+    the rotation.
+    """
 
     def __init__(self) -> None:
         self._cursor: Dict[str, int] = {}
@@ -27,19 +46,53 @@ class RoundRobinPolicy:
         """Pick the next node of ``version``'s pool."""
         if not nodes:
             raise ValueError(f"no nodes available for version {version!r}")
-        index = self._cursor.get(version, 0) % len(nodes)
-        self._cursor[version] = index + 1
+        index = self._cursor.get(version, 0)
+        if index >= len(nodes):
+            index = 0
+        self._cursor[version] = (index + 1) % len(nodes)
         return nodes[index]
+
+    def reset(self, version: Optional[str] = None) -> None:
+        """Forget the rotation state for one version (or all of them).
+
+        Called by the load balancer whenever a pool's membership changes,
+        so a stale cursor never outlives the pool it indexed.
+        """
+        if version is None:
+            self._cursor.clear()
+        else:
+            self._cursor.pop(version, None)
 
 
 class LeastBusyPolicy:
-    """Select the node that has accumulated the least busy time."""
+    """Select the node that has accumulated the least busy time.
+
+    Ties (e.g. a freshly built pool where every node has zero busy time)
+    resolve to the earliest node in pool order, so selection stays
+    deterministic.
+    """
 
     def select(self, version: str, nodes: Sequence[ServiceNode]) -> ServiceNode:
         """Pick the least-busy node of ``version``'s pool."""
         if not nodes:
             raise ValueError(f"no nodes available for version {version!r}")
         return min(nodes, key=lambda node: node.busy_seconds)
+
+
+class JoinShortestQueuePolicy:
+    """Select the node with the least backlog (queue depth, then busy-until).
+
+    This is the natural policy for the queueing simulator: it looks at what
+    is *waiting* on each node rather than at historical busy time, so a
+    node that just went idle wins over one with a deep queue even if the
+    idle node has served more traffic overall.
+    """
+
+    def select(self, version: str, nodes: Sequence[ServiceNode]) -> ServiceNode:
+        """Pick the node with the shortest queue of ``version``'s pool."""
+        if not nodes:
+            raise ValueError(f"no nodes available for version {version!r}")
+        return min(nodes, key=lambda node: (node.queue_depth, node.busy_until))
 
 
 class LoadBalancer:
@@ -55,7 +108,10 @@ class LoadBalancer:
         self,
         pools: Dict[str, List[ServiceNode]],
         *,
-        selection_policy: RoundRobinPolicy | LeastBusyPolicy | None = None,
+        selection_policy: RoundRobinPolicy
+        | LeastBusyPolicy
+        | JoinShortestQueuePolicy
+        | None = None,
     ) -> None:
         if not pools:
             raise ValueError("load balancer needs at least one version pool")
@@ -74,6 +130,10 @@ class LoadBalancer:
         """Number of nodes serving ``version``."""
         return len(self._require_pool(version))
 
+    def nodes_of(self, version: str) -> Tuple[ServiceNode, ...]:
+        """The nodes currently serving ``version`` (read-only view)."""
+        return tuple(self._require_pool(version))
+
     def _require_pool(self, version: str) -> List[ServiceNode]:
         try:
             return self._pools[version]
@@ -83,11 +143,129 @@ class LoadBalancer:
                 f"{sorted(self._pools)}"
             ) from None
 
+    def _reset_policy(self, version: str) -> None:
+        reset = getattr(self._policy, "reset", None)
+        if reset is not None:
+            reset(version)
+
+    # ------------------------------------------------------------------
+    # pool mutation (autoscaling)
+    # ------------------------------------------------------------------
+    def add_node(self, version: str, node: ServiceNode) -> None:
+        """Grow a version's pool by one node.
+
+        Selection-policy state for the version is reset so rotation starts
+        cleanly over the new membership.
+        """
+        self._require_pool(version).append(node)
+        self._reset_policy(version)
+
+    def remove_node(
+        self,
+        version: str,
+        *,
+        now: Optional[float] = None,
+        only_idle: bool = True,
+    ) -> Optional[ServiceNode]:
+        """Shrink a version's pool by one node.
+
+        Args:
+            version: Pool to shrink.
+            now: Current virtual time, for the in-flight-work check.  The
+                event engine passes its clock here; leave ``None`` on the
+                synchronous replay path, where execution is eager and a
+                node with an empty queue is idle no matter what virtual
+                timestamp its past work reached.
+            only_idle: When true (the default), only an idle node — empty
+                queue, and no batch still running at ``now`` when a clock
+                is given — may be removed; ``None`` is returned when every
+                node is busy.  When false, an idle node is still
+                preferred, but a busy one may be evicted — its queued
+                (not yet started) requests are requeued onto the surviving
+                nodes, preserving their original enqueue times, so no work
+                is silently dropped.
+
+        Returns:
+            The removed node, or ``None`` when ``only_idle`` found no
+            removable node.
+
+        Raises:
+            ValueError: If removal would empty the pool.
+        """
+        pool = self._require_pool(version)
+        if len(pool) <= 1:
+            raise ValueError(
+                f"cannot remove the last node of version {version!r}"
+            )
+        idle = [
+            node
+            for node in pool
+            if node.queue_depth == 0
+            and (now is None or node.busy_until <= now)
+        ]
+        if not idle and only_idle:
+            return None
+        node = idle[-1] if idle else pool[-1]
+        pool.remove(node)
+        self._reset_policy(version)
+        if node.queue_depth:
+            for item in node.pop_batch(node.queue_depth):
+                self._policy.select(version, pool).requeue(item)
+        return node
+
+    # ------------------------------------------------------------------
+    # queueing interface
+    # ------------------------------------------------------------------
+    def select_node(self, version: str) -> ServiceNode:
+        """Pick the node the selection policy would route to next."""
+        return self._policy.select(version, self._require_pool(version))
+
+    def submit(
+        self, version: str, request_id: str, payload: Any, *, now: float = 0.0
+    ) -> ServiceNode:
+        """Enqueue a request on a policy-selected node of ``version``.
+
+        Returns the node chosen, so callers (the simulation engine, or an
+        early-termination policy that may later cancel the work) can track
+        where the request went.
+        """
+        node = self.select_node(version)
+        node.submit(request_id, payload, now=now)
+        return node
+
+    def drain(
+        self, *, now: float = 0.0, batching=None
+    ) -> Dict[str, List[NodeCompletion]]:
+        """Execute all queued work on every pool, per-version.
+
+        Returns:
+            Mapping from version name to the completions its nodes
+            produced, in execution order.
+        """
+        completions: Dict[str, List[NodeCompletion]] = {}
+        for version, nodes in self._pools.items():
+            done: List[NodeCompletion] = []
+            for node in nodes:
+                done.extend(node.drain(now=now, batching=batching))
+            if done:
+                completions[version] = done
+        return completions
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Total queued (not yet started) requests per version."""
+        return {
+            version: sum(node.queue_depth for node in nodes)
+            for version, nodes in self._pools.items()
+        }
+
+    # ------------------------------------------------------------------
+    # synchronous replay interface
+    # ------------------------------------------------------------------
     def dispatch(
         self, version: str, request_id: str, payload: Any
     ) -> Tuple[VersionResult, float]:
         """Send one request to one version; returns ``(result, latency_s)``."""
-        node = self._policy.select(version, self._require_pool(version))
+        node = self.select_node(version)
         return node.process(request_id, payload)
 
     def dispatch_many(

@@ -7,17 +7,34 @@ machine running one service version; the node applies its instance type's
 speed factor to the version's baseline latency, which is how the same
 version gets cheaper-but-slower or pricier-but-faster depending on where it
 is deployed.
+
+Nodes expose an async-style **submit/drain** interface: work is enqueued
+onto a per-node FIFO queue with :meth:`ServiceNode.submit` and executed —
+optionally in batches — by :meth:`ServiceNode.drain` or, one batch at a
+time, by :meth:`ServiceNode.pop_batch` / :meth:`ServiceNode.execute_batch`.
+The synchronous :meth:`ServiceNode.process` call is kept for the replay
+path and delegates to the queueing primitives; the discrete-event engine in
+:mod:`repro.service.simulation` drives the same primitives under a virtual
+clock so queueing delay and batching become observable.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Protocol
+from typing import Any, Callable, Deque, List, Optional, Protocol, Tuple
 
 from repro.service.instances import InstanceType
 
-__all__ = ["CallableVersion", "ServiceNode", "ServiceVersion", "VersionResult"]
+__all__ = [
+    "CallableVersion",
+    "NodeCompletion",
+    "QueuedRequest",
+    "ServiceNode",
+    "ServiceVersion",
+    "VersionResult",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +101,48 @@ class CallableVersion:
         return result
 
 
+@dataclass(frozen=True)
+class QueuedRequest:
+    """One unit of work waiting in a node's FIFO queue.
+
+    Attributes:
+        request_id: Identifier of the queued request.
+        payload: Opaque payload the node's version understands.
+        enqueued_at: Virtual time the request joined the queue.
+    """
+
+    request_id: str
+    payload: Any
+    enqueued_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class NodeCompletion:
+    """One request's completion record after a node executed its batch.
+
+    Attributes:
+        result: The version's result for the request.
+        service_time_s: Wall service time of the *batch* the request rode in
+            (equal to :attr:`solo_time_s` for unbatched execution).
+        solo_time_s: What the request would have taken alone on this node.
+        started_at: Virtual time the batch started executing.
+        finished_at: Virtual time the batch finished.
+        batch_size: Number of requests in the batch.
+    """
+
+    result: VersionResult
+    service_time_s: float
+    solo_time_s: float
+    started_at: float
+    finished_at: float
+    batch_size: int = 1
+
+    @property
+    def amortized_seconds(self) -> float:
+        """The request's share of the batch's node-seconds."""
+        return self.service_time_s / self.batch_size
+
+
 class ServiceNode:
     """One machine instance hosting one service version.
 
@@ -108,20 +167,164 @@ class ServiceNode:
         self.node_id = node_id or f"node_{next(self._ids):04d}"
         self._busy_seconds = 0.0
         self._requests_served = 0
+        self._queue: Deque[QueuedRequest] = deque()
+        #: Virtual time at which the node finishes its current work.
+        self.busy_until = 0.0
 
-    def process(self, request_id: str, payload: Any) -> tuple[VersionResult, float]:
+    # ------------------------------------------------------------------
+    # queueing interface (consumed by the replay path and the simulator)
+    # ------------------------------------------------------------------
+    def submit(self, request_id: str, payload: Any, *, now: float = 0.0) -> None:
+        """Enqueue one request on the node's FIFO queue."""
+        self._queue.append(QueuedRequest(request_id, payload, enqueued_at=now))
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests waiting in the queue (excluding running work)."""
+        return len(self._queue)
+
+    @property
+    def oldest_enqueued_at(self) -> Optional[float]:
+        """Enqueue time of the request at the head of the queue, if any."""
+        return self._queue[0].enqueued_at if self._queue else None
+
+    def cancel(self, request_id: str) -> bool:
+        """Remove a not-yet-started request from the queue.
+
+        Returns:
+            ``True`` if the request was still queued and has been removed;
+            ``False`` if it already started (or was never submitted here).
+        """
+        for item in self._queue:
+            if item.request_id == request_id:
+                self._queue.remove(item)
+                return True
+        return False
+
+    def requeue(self, item: QueuedRequest) -> None:
+        """Insert a previously dequeued request, preserving FIFO order.
+
+        Used when work migrates between nodes (pool scale-down): the item
+        is placed by its original ``enqueued_at`` so the head of the queue
+        stays the oldest request and flush deadlines remain correct.
+        """
+        position = len(self._queue)
+        for i, existing in enumerate(self._queue):
+            if existing.enqueued_at > item.enqueued_at:
+                position = i
+                break
+        self._queue.insert(position, item)
+
+    def pop_batch(self, max_size: int = 1) -> List[QueuedRequest]:
+        """Dequeue up to ``max_size`` requests in FIFO order."""
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        batch: List[QueuedRequest] = []
+        while self._queue and len(batch) < max_size:
+            batch.append(self._queue.popleft())
+        return batch
+
+    def execute_batch(
+        self,
+        batch: List[QueuedRequest],
+        *,
+        now: float = 0.0,
+        batching=None,
+    ) -> List[NodeCompletion]:
+        """Execute a popped batch, advancing the node's virtual clock.
+
+        The batch starts at ``max(now, busy_until)``; its wall service time
+        is the slowest member's solo time for unbatched execution, or the
+        sublinear batch model of ``batching`` (a
+        :class:`~repro.service.simulation.batching.BatchingConfig`) when
+        given.  Busy time and request counters accumulate as in
+        :meth:`process`.
+
+        Args:
+            batch: Requests popped with :meth:`pop_batch`.
+            now: Current virtual time.
+            batching: Optional batching config supplying the batch latency
+                model.
+        """
+        if not batch:
+            raise ValueError("cannot execute an empty batch")
+        results = [
+            self.version.handle(item.request_id, item.payload) for item in batch
+        ]
+        solo_times = [
+            result.compute_seconds / self.instance_type.speed_factor
+            for result in results
+        ]
+        if batching is not None and len(batch) > 1:
+            wall = batching.batch_service_time(solo_times)
+        else:
+            wall = max(solo_times)
+        start = max(now, self.busy_until)
+        finish = start + wall
+        self.busy_until = finish
+        self._busy_seconds += wall
+        self._requests_served += len(batch)
+        return [
+            NodeCompletion(
+                result=result,
+                service_time_s=wall,
+                solo_time_s=solo,
+                started_at=start,
+                finished_at=finish,
+                batch_size=len(batch),
+            )
+            for result, solo in zip(results, solo_times)
+        ]
+
+    def drain(self, *, now: float = 0.0, batching=None) -> List[NodeCompletion]:
+        """Execute everything queued, one FIFO batch after another.
+
+        This is the replay-path counterpart of the event engine's paced
+        execution: all queued work runs back to back in virtual time.
+
+        Args:
+            now: Virtual time draining starts.
+            batching: Optional batching config; without it every request
+                runs alone.
+        """
+        completions: List[NodeCompletion] = []
+        max_size = batching.max_batch_size if batching is not None else 1
+        while self._queue:
+            batch = self.pop_batch(max_size)
+            completions.extend(
+                self.execute_batch(batch, now=now, batching=batching)
+            )
+        return completions
+
+    # ------------------------------------------------------------------
+    # synchronous replay interface
+    # ------------------------------------------------------------------
+    def process(self, request_id: str, payload: Any) -> Tuple[VersionResult, float]:
         """Process a request and return ``(result, wall_latency_s)``.
 
         The wall latency is the version's baseline compute divided by the
         node's speed factor; the node also accumulates busy time so a
-        deployment can report utilisation and IaaS spend.
-        """
-        result = self.version.handle(request_id, payload)
-        latency = result.compute_seconds / self.instance_type.speed_factor
-        self._busy_seconds += latency
-        self._requests_served += 1
-        return result, latency
+        deployment can report utilisation and IaaS spend.  Internally this
+        delegates to :meth:`submit` / :meth:`drain`, so replayed and
+        simulated requests share one execution path.
 
+        Raises:
+            RuntimeError: If work is already queued on the node — the
+                synchronous path must not silently execute and discard
+                someone else's pending requests; drain the queue first.
+        """
+        if self._queue:
+            raise RuntimeError(
+                f"node {self.node_id} has {len(self._queue)} queued "
+                "request(s); drain() them before calling process()"
+            )
+        self.submit(request_id, payload, now=self.busy_until)
+        completion = self.drain(now=self.busy_until)[-1]
+        return completion.result, completion.service_time_s
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
     @property
     def busy_seconds(self) -> float:
         """Total node-seconds spent processing so far."""
@@ -138,6 +341,7 @@ class ServiceNode:
         return self._busy_seconds * self.instance_type.price_per_second
 
     def reset_accounting(self) -> None:
-        """Zero the busy-time and request counters."""
+        """Zero the busy-time and request counters and the virtual clock."""
         self._busy_seconds = 0.0
         self._requests_served = 0
+        self.busy_until = 0.0

@@ -1,0 +1,62 @@
+"""Event-driven serving simulation: latency and cost under offered load.
+
+The replay path (:mod:`repro.core.simulator`) answers "what would this
+configuration have served per request"; this package answers the paper's
+*service* question — what do the Tolerance Tiers policies do to tail
+latency and cost when requests queue, batch and contend for a finite pool
+of nodes:
+
+* :mod:`repro.service.simulation.events` -- the virtual-clock event loop.
+* :mod:`repro.service.simulation.arrivals` -- Poisson, bursty and
+  trace-driven arrival processes.
+* :mod:`repro.service.simulation.batching` -- node-level request batching
+  with a sublinear batch latency model.
+* :mod:`repro.service.simulation.autoscaler` -- queue-depth and
+  utilization triggered pool autoscaling.
+* :mod:`repro.service.simulation.replay` -- measurement-backed service
+  versions, so simulated service times come from measured latencies.
+* :mod:`repro.service.simulation.engine` -- the discrete-event engine
+  tying it together over a :class:`~repro.service.cluster.ClusterDeployment`.
+* :mod:`repro.service.simulation.report` -- per-request records and
+  p50/p95/p99 aggregates.
+"""
+
+from repro.service.simulation.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.service.simulation.autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    ScalingEvent,
+)
+from repro.service.simulation.batching import BatchingConfig
+from repro.service.simulation.engine import ServingSimulator
+from repro.service.simulation.events import Event, EventLoop
+from repro.service.simulation.replay import (
+    MeasurementReplayVersion,
+    build_replay_cluster,
+    replay_pools,
+)
+from repro.service.simulation.report import LoadTestReport, RequestRecord
+
+__all__ = [
+    "ArrivalProcess",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "BatchingConfig",
+    "BurstyArrivals",
+    "Event",
+    "EventLoop",
+    "LoadTestReport",
+    "MeasurementReplayVersion",
+    "PoissonArrivals",
+    "RequestRecord",
+    "ScalingEvent",
+    "ServingSimulator",
+    "TraceArrivals",
+    "build_replay_cluster",
+    "replay_pools",
+]

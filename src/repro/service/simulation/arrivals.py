@@ -1,0 +1,161 @@
+"""Arrival processes for offered-load generation.
+
+The serving simulator decouples *when* requests arrive from *what* they
+ask for.  This module provides the when: Poisson arrivals (the classic
+open-loop model), a two-state bursty process (calm/burst phases with
+different rates, an on/off MMPP), and trace-driven arrivals replaying
+recorded timestamps.  Every process emits absolute arrival times in
+seconds, sorted ascending, for a caller-supplied number of requests.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "TraceArrivals",
+]
+
+
+class ArrivalProcess(Protocol):
+    """Protocol every arrival process implements."""
+
+    def times(self, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+        """Absolute arrival times (seconds, ascending) for ``n_requests``."""
+        ...
+
+
+def _require_positive_count(n_requests: int) -> None:
+    if n_requests < 1:
+        raise ValueError("n_requests must be at least 1")
+
+
+class PoissonArrivals:
+    """Open-loop Poisson arrivals at a fixed mean rate.
+
+    Args:
+        rate: Mean arrival rate in requests per second.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def times(self, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+        _require_positive_count(n_requests)
+        gaps = rng.exponential(1.0 / self.rate, size=n_requests)
+        return np.cumsum(gaps)
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self.rate:g}/s)"
+
+
+class BurstyArrivals:
+    """Two-state bursty arrivals: calm phases punctuated by bursts.
+
+    An on/off Markov-modulated Poisson process: the source alternates
+    between a *calm* phase (rate ``base_rate``, exponentially distributed
+    duration with mean ``mean_calm_s``) and a *burst* phase (rate
+    ``burst_rate``, mean duration ``mean_burst_s``).  Within each phase
+    arrivals are Poisson at the phase's rate.
+
+    Args:
+        base_rate: Requests per second during calm phases.
+        burst_rate: Requests per second during bursts (must exceed
+            ``base_rate``).
+        mean_calm_s: Mean calm-phase duration in seconds.
+        mean_burst_s: Mean burst duration in seconds.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        *,
+        mean_calm_s: float = 10.0,
+        mean_burst_s: float = 2.0,
+    ) -> None:
+        if base_rate <= 0.0 or burst_rate <= 0.0:
+            raise ValueError("rates must be positive")
+        if burst_rate <= base_rate:
+            raise ValueError("burst_rate must exceed base_rate")
+        if mean_calm_s <= 0.0 or mean_burst_s <= 0.0:
+            raise ValueError("phase durations must be positive")
+        self.base_rate = base_rate
+        self.burst_rate = burst_rate
+        self.mean_calm_s = mean_calm_s
+        self.mean_burst_s = mean_burst_s
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrival rate (phase-duration weighted)."""
+        total = self.mean_calm_s + self.mean_burst_s
+        return (
+            self.base_rate * self.mean_calm_s
+            + self.burst_rate * self.mean_burst_s
+        ) / total
+
+    def times(self, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+        _require_positive_count(n_requests)
+        arrivals: list = []
+        clock = 0.0
+        in_burst = False
+        while len(arrivals) < n_requests:
+            rate = self.burst_rate if in_burst else self.base_rate
+            mean_phase = self.mean_burst_s if in_burst else self.mean_calm_s
+            phase_end = clock + rng.exponential(mean_phase)
+            t = clock
+            while len(arrivals) < n_requests:
+                t += rng.exponential(1.0 / rate)
+                if t > phase_end:
+                    break
+                arrivals.append(t)
+            clock = phase_end
+            in_burst = not in_burst
+        return np.asarray(arrivals[:n_requests])
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyArrivals(base={self.base_rate:g}/s, "
+            f"burst={self.burst_rate:g}/s)"
+        )
+
+
+class TraceArrivals:
+    """Replay recorded arrival timestamps.
+
+    Args:
+        times_s: Absolute arrival timestamps in seconds; must be
+            non-negative and non-decreasing.
+    """
+
+    def __init__(self, times_s: Sequence[float]) -> None:
+        trace = np.asarray(times_s, dtype=float)
+        if trace.size == 0:
+            raise ValueError("trace must contain at least one arrival")
+        if (trace < 0.0).any():
+            raise ValueError("trace timestamps must be non-negative")
+        if (np.diff(trace) < 0.0).any():
+            raise ValueError("trace timestamps must be non-decreasing")
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return int(self._trace.size)
+
+    def times(self, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+        _require_positive_count(n_requests)
+        if n_requests > self._trace.size:
+            raise ValueError(
+                f"trace holds {self._trace.size} arrivals but "
+                f"{n_requests} were requested"
+            )
+        return self._trace[:n_requests].copy()
+
+    def __repr__(self) -> str:
+        return f"TraceArrivals(n={self._trace.size})"

@@ -1,0 +1,538 @@
+"""The discrete-event serving simulator.
+
+:class:`ServingSimulator` layers a virtual-clock event loop over a live
+:class:`~repro.service.cluster.ClusterDeployment`: requests arrive under an
+offered-load process, a :class:`~repro.core.router.TierRouter` (or one
+fixed configuration) decides which ensemble serves each of them, jobs join
+per-node FIFO queues through the cluster's ``submit`` interface, nodes
+execute them — solo or in sublinear batches — and an optional autoscaler
+grows and shrinks the pools while traffic flows.  The output is a
+:class:`~repro.service.simulation.report.LoadTestReport` with the tail
+latencies and costs the replay benchmarks cannot see.
+
+Ensemble semantics under the virtual clock mirror the replay policies in
+:mod:`repro.core.policies`:
+
+* ``single`` — one job; the response is ready when it finishes.
+* ``seq`` — the fast job runs first; on low confidence an accurate job is
+  enqueued *at the fast job's finish time* and the response waits for it.
+* ``conc`` — fast and accurate jobs are enqueued at arrival; a confident
+  fast result answers immediately (the accurate job still burns node time),
+  otherwise the response waits for both.
+* ``et`` — like ``conc``, but when the fast result is accepted the
+  accurate job is cancelled: a still-queued job is removed outright (no
+  cost), while a job that already started runs on, its billed node-seconds
+  capped at the fast job's solo service time (the replay model's bound).
+
+The event loop is single-threaded and deterministic: same seed, same
+arrival process, same report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.configuration import EnsembleConfiguration
+from repro.core.router import TierRouter
+from repro.service.cluster import ClusterDeployment
+from repro.service.node import NodeCompletion, ServiceNode
+from repro.service.request import Objective, ServiceRequest
+from repro.service.simulation.arrivals import ArrivalProcess
+from repro.service.simulation.autoscaler import Autoscaler
+from repro.service.simulation.batching import BatchingConfig
+from repro.service.simulation.events import Event, EventLoop
+from repro.service.simulation.report import LoadTestReport, RequestRecord
+
+__all__ = ["ServingSimulator"]
+
+#: Safety valve: no sane load test needs more events than this.
+_MAX_EVENTS = 10_000_000
+
+
+class _InFlight:
+    """Mutable state of one request between arrival and response."""
+
+    __slots__ = (
+        "request",
+        "kind",
+        "arrival",
+        "fast_version",
+        "accurate_version",
+        "threshold",
+        "fast_completion",
+        "accurate_completion",
+        "escalated",
+        "accurate_node",
+        "accurate_enqueued",
+        "accurate_cancelled",
+    )
+
+    def __init__(
+        self, request: ServiceRequest, configuration: EnsembleConfiguration
+    ) -> None:
+        self.request = request
+        self.kind = configuration.kind
+        self.arrival = 0.0
+        policy = configuration.policy
+        if self.kind == "single":
+            self.fast_version = policy.versions[0]
+            self.accurate_version = None
+            self.threshold = 0.0
+        else:
+            self.fast_version = policy.fast_version
+            self.accurate_version = policy.accurate_version
+            self.threshold = getattr(policy, "confidence_threshold", 0.5)
+        self.fast_completion: Optional[NodeCompletion] = None
+        self.accurate_completion: Optional[NodeCompletion] = None
+        self.escalated: Optional[bool] = None
+        self.accurate_node: Optional[ServiceNode] = None
+        self.accurate_enqueued = False
+        self.accurate_cancelled = False
+
+
+class ServingSimulator:
+    """Event-driven load simulation over a cluster deployment.
+
+    Exactly one of ``router`` / ``configuration`` selects how requests map
+    to ensembles: a tier router serves each request according to its
+    ``Tolerance`` / ``Objective`` annotation, while a fixed configuration
+    models a conventional deployment (e.g. OSFA as a single-version
+    configuration of the most accurate model).
+
+    Args:
+        cluster: The deployment whose queues and pools the simulation
+            drives.  Its load-balancer policy decides per-job node choice;
+            :class:`~repro.service.load_balancer.JoinShortestQueuePolicy`
+            is the natural fit under load.
+        router: Tier router from the offline rule generator.
+        configuration: Fixed ensemble configuration (mutually exclusive
+            with ``router``).
+        batching: Node-level batching policy; default is unbatched.
+        autoscaler: Optional pool autoscaler, evaluated on its configured
+            cadence while traffic is in flight.
+        seed: Seed for arrival sampling and payload choice.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterDeployment,
+        *,
+        router: Optional[TierRouter] = None,
+        configuration: Optional[EnsembleConfiguration] = None,
+        batching: Optional[BatchingConfig] = None,
+        autoscaler: Optional[Autoscaler] = None,
+        seed: int = 0,
+    ) -> None:
+        if (router is None) == (configuration is None):
+            raise ValueError("supply exactly one of router / configuration")
+        self.cluster = cluster
+        # The engine owns the virtual timeline: any busy_until left behind
+        # by synchronous replay traffic belongs to a different clock and
+        # would deadlock _maybe_start (no completion event exists to wake
+        # the node).  Queued work from outside the engine is refused.
+        pending = {v: d for v, d in cluster.queue_depths().items() if d}
+        if pending:
+            raise ValueError(
+                f"cluster has queued work {pending}; drain() it before "
+                "building a ServingSimulator"
+            )
+        for version in cluster.load_balancer.versions:
+            for node in cluster.load_balancer.nodes_of(version):
+                node.busy_until = 0.0
+        # Seed the utilization baseline with whatever busy time the nodes
+        # already accumulated, so the first autoscaler tick measures only
+        # work done inside this simulation, not the cluster's history.
+        self._last_busy = {
+            version: sum(
+                node.busy_seconds
+                for node in cluster.load_balancer.nodes_of(version)
+            )
+            for version in cluster.load_balancer.versions
+        }
+        self._router = router
+        self._configuration = configuration
+        self._batching = batching or BatchingConfig()
+        self._autoscaler = autoscaler
+        self._rng = np.random.default_rng(seed)
+        self._loop = EventLoop()
+        self._inflight: Dict[str, _InFlight] = {}
+        self._records: List[RequestRecord] = []
+        self._flush_events: Dict[str, Event] = {}
+        self._remaining = 0
+        self._counter = 0
+        self._tick_scheduled = False
+        self._drained = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: ServiceRequest, *, at_time: float = 0.0) -> None:
+        """Schedule one request's arrival at a virtual timestamp.
+
+        Raises:
+            ValueError: If the simulator has already been drained — a
+                simulator is single-use (its clock, records and pool state
+                belong to one load test); build a fresh one per test.
+        """
+        if self._drained:
+            raise ValueError(
+                "this ServingSimulator has already been drained; a simulator "
+                "is single-use — build a new one for another load test"
+            )
+        self._remaining += 1
+        self._loop.schedule_at(
+            at_time, lambda r=request: self._on_arrival(r), kind="arrival"
+        )
+
+    def run(
+        self,
+        arrivals: ArrivalProcess,
+        n_requests: int,
+        *,
+        tolerance: float = 0.0,
+        objective: Objective = Objective.RESPONSE_TIME,
+        payload_ids: Optional[Sequence[Any]] = None,
+    ) -> LoadTestReport:
+        """Generate a workload, submit it, and drain it to a report.
+
+        Args:
+            arrivals: Arrival process generating the offered load.
+            n_requests: Number of requests to simulate.
+            tolerance: ``Tolerance`` annotation on every request.
+            objective: ``Objective`` annotation on every request.
+            payload_ids: Pool of payloads (measured request ids, for replay
+                clusters) sampled uniformly per arrival; defaults to each
+                request's own id.
+        """
+        times = arrivals.times(n_requests, self._rng)
+        if payload_ids is not None:
+            ids = list(payload_ids)
+            if not ids:
+                raise ValueError("payload_ids must be non-empty when given")
+            picks = self._rng.integers(0, len(ids), size=n_requests)
+        for i, at_time in enumerate(times):
+            request_id = f"load_{self._counter:06d}"
+            self._counter += 1
+            payload = ids[picks[i]] if payload_ids is not None else request_id
+            self.submit(
+                ServiceRequest(
+                    request_id=request_id,
+                    payload=payload,
+                    tolerance=tolerance,
+                    objective=objective,
+                ),
+                at_time=float(at_time),
+            )
+        report = self.drain()
+        span = float(times[-1] - times[0])
+        report.offered_rate = n_requests / span if span > 0.0 else None
+        return report
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def drain(self) -> LoadTestReport:
+        """Run the event loop until every submitted request has responded."""
+        if self._autoscaler is not None and not self._tick_scheduled:
+            self._tick_scheduled = True
+            self._loop.schedule(
+                self._autoscaler.config.evaluation_interval_s,
+                self._on_autoscale_tick,
+                kind="autoscale",
+            )
+        self._loop.run(max_events=_MAX_EVENTS)
+        self._drained = True
+        if self._remaining:
+            raise RuntimeError(
+                f"event loop drained with {self._remaining} requests unresolved"
+            )
+        return LoadTestReport(
+            records=list(self._records),
+            scaling_events=list(self._autoscaler.events)
+            if self._autoscaler is not None
+            else [],
+            final_pool_sizes=self.cluster.pool_sizes(),
+        )
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._loop.now
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _plan(self, request: ServiceRequest) -> EnsembleConfiguration:
+        if self._configuration is not None:
+            return self._configuration
+        return self._router.route_request(request)
+
+    def _on_arrival(self, request: ServiceRequest) -> None:
+        state = _InFlight(request, self._plan(request))
+        state.arrival = self._loop.now
+        if request.request_id in self._inflight:
+            raise ValueError(f"duplicate request id {request.request_id!r}")
+        self._inflight[request.request_id] = state
+        self._enqueue(state, state.fast_version)
+        if state.kind in ("conc", "et"):
+            state.accurate_node = self._enqueue(state, state.accurate_version)
+            state.accurate_enqueued = True
+
+    def _enqueue(self, state: _InFlight, version: str) -> ServiceNode:
+        node = self.cluster.submit(version, state.request, now=self._loop.now)
+        self._maybe_start(node)
+        return node
+
+    def _maybe_start(self, node: ServiceNode) -> None:
+        """Start a batch on an idle node, or arm its flush timer."""
+        now = self._loop.now
+        if node.queue_depth == 0 or node.busy_until > now:
+            # Busy nodes restart from their batch-completion event.
+            return
+        cfg = self._batching
+        head_wait = now - (node.oldest_enqueued_at or now)
+        if (
+            node.queue_depth >= cfg.max_batch_size
+            or cfg.max_wait_s <= 0.0
+            or head_wait >= cfg.max_wait_s - 1e-12
+        ):
+            self._start_batch(node)
+        elif node.node_id not in self._flush_events:
+            deadline = node.oldest_enqueued_at + cfg.max_wait_s
+            self._flush_events[node.node_id] = self._loop.schedule_at(
+                deadline, lambda n=node: self._on_flush(n), kind="flush"
+            )
+
+    def _on_flush(self, node: ServiceNode) -> None:
+        self._flush_events.pop(node.node_id, None)
+        if node.queue_depth and node.busy_until <= self._loop.now:
+            self._start_batch(node)
+
+    def _start_batch(self, node: ServiceNode) -> None:
+        pending = self._flush_events.pop(node.node_id, None)
+        if pending is not None:
+            pending.cancel()
+        batch = node.pop_batch(self._batching.max_batch_size)
+        completions = node.execute_batch(
+            batch, now=self._loop.now, batching=self._batching
+        )
+        self._loop.schedule_at(
+            completions[0].finished_at,
+            lambda n=node, c=completions: self._on_batch_done(n, c),
+            kind="batch-done",
+        )
+
+    def _on_batch_done(
+        self, node: ServiceNode, completions: List[NodeCompletion]
+    ) -> None:
+        for completion in completions:
+            self._on_job_done(completion)
+        self._maybe_start(node)
+
+    def _on_job_done(self, completion: NodeCompletion) -> None:
+        state = self._inflight.get(completion.result.request_id)
+        if state is None:
+            return
+        if (
+            state.accurate_version is not None
+            and completion.result.version == state.accurate_version
+        ):
+            state.accurate_completion = completion
+        else:
+            state.fast_completion = completion
+        self._advance(state)
+
+    # ------------------------------------------------------------------
+    # ensemble state machine
+    # ------------------------------------------------------------------
+    def _advance(self, state: _InFlight) -> None:
+        fast = state.fast_completion
+        if state.kind == "single":
+            if fast is not None:
+                self._finalize(
+                    state,
+                    end=fast.finished_at,
+                    node_seconds={state.fast_version: fast.amortized_seconds},
+                )
+            return
+
+        if fast is not None and state.escalated is None:
+            state.escalated = fast.result.confidence < state.threshold
+
+        if state.kind == "seq":
+            self._advance_sequential(state)
+        else:
+            self._advance_concurrent(state)
+
+    def _advance_sequential(self, state: _InFlight) -> None:
+        fast = state.fast_completion
+        if fast is None:
+            return
+        if state.escalated is False:
+            self._finalize(
+                state,
+                end=fast.finished_at,
+                node_seconds={state.fast_version: fast.amortized_seconds},
+            )
+        elif not state.accurate_enqueued:
+            state.accurate_enqueued = True
+            state.accurate_node = self._enqueue(state, state.accurate_version)
+        elif state.accurate_completion is not None:
+            accurate = state.accurate_completion
+            self._finalize(
+                state,
+                end=accurate.finished_at,
+                node_seconds={
+                    state.fast_version: fast.amortized_seconds,
+                    state.accurate_version: accurate.amortized_seconds,
+                },
+            )
+
+    def _advance_concurrent(self, state: _InFlight) -> None:
+        fast = state.fast_completion
+        accurate = state.accurate_completion
+        if fast is None:
+            # The accurate job finished first; hold until the fast job's
+            # confidence decides the outcome.
+            return
+        if state.escalated:
+            if accurate is None:
+                return
+            self._finalize(
+                state,
+                end=max(fast.finished_at, accurate.finished_at),
+                node_seconds={
+                    state.fast_version: fast.amortized_seconds,
+                    state.accurate_version: accurate.amortized_seconds,
+                },
+            )
+            return
+        # Fast result accepted: respond at the fast finish.
+        if state.kind == "et" and accurate is None and not state.accurate_cancelled:
+            if self._cancel_queued_job(
+                state.accurate_node, state.request.request_id
+            ):
+                state.accurate_cancelled = True
+                self._finalize(
+                    state,
+                    end=fast.finished_at,
+                    node_seconds={state.fast_version: fast.amortized_seconds},
+                )
+                return
+            # Already running: let it finish and bill the bounded share.
+        if accurate is None:
+            return
+        accurate_seconds = accurate.amortized_seconds
+        if state.kind == "et":
+            accurate_seconds = min(accurate_seconds, fast.solo_time_s)
+        self._finalize(
+            state,
+            end=fast.finished_at,
+            node_seconds={
+                state.fast_version: fast.amortized_seconds,
+                state.accurate_version: accurate_seconds,
+            },
+        )
+
+    def _cancel_queued_job(
+        self, node: Optional[ServiceNode], request_id: str
+    ) -> bool:
+        """Cancel a not-yet-started job, fixing up the node's flush timer.
+
+        The cancelled job may have been the queue head whose enqueue time
+        armed the pending flush deadline; firing that stale timer would
+        start the surviving batch earlier than ``max_wait_s`` allows for
+        the new head.  Cancel the timer and re-arm from the current queue
+        state instead.
+        """
+        if node is None or not node.cancel(request_id):
+            return False
+        pending = self._flush_events.pop(node.node_id, None)
+        if pending is not None:
+            pending.cancel()
+        self._maybe_start(node)
+        return True
+
+    def _finalize(
+        self, state: _InFlight, *, end: float, node_seconds: Dict[str, float]
+    ) -> None:
+        fast = state.fast_completion
+        escalated = bool(state.escalated)
+        cost = self.cluster.cost_of(node_seconds)
+        self._records.append(
+            RequestRecord(
+                request_id=state.request.request_id,
+                payload=state.request.payload,
+                tier=state.request.tolerance,
+                arrival_s=state.arrival,
+                finished_s=end,
+                response_time_s=end - state.arrival,
+                queue_wait_s=fast.started_at - state.arrival,
+                versions_used=tuple(node_seconds.keys()),
+                escalated=escalated,
+                invocation_cost=cost.invocation_cost,
+                node_seconds=dict(node_seconds),
+            )
+        )
+        del self._inflight[state.request.request_id]
+        self._remaining -= 1
+
+    # ------------------------------------------------------------------
+    # autoscaling
+    # ------------------------------------------------------------------
+    def _on_autoscale_tick(self) -> None:
+        scaler = self._autoscaler
+        now = self._loop.now
+        balancer = self.cluster.load_balancer
+        for version in balancer.versions:
+            nodes = balancer.nodes_of(version)
+            n_nodes = len(nodes)
+            queue_depth = sum(node.queue_depth for node in nodes)
+            busy_now = sum(node.busy_seconds for node in nodes)
+            window = scaler.config.evaluation_interval_s
+            utilization = (busy_now - self._last_busy.get(version, 0.0)) / (
+                n_nodes * window
+            )
+            self._last_busy[version] = busy_now
+            delta = scaler.decide(
+                version,
+                n_nodes=n_nodes,
+                queue_depth=queue_depth,
+                utilization=utilization,
+                now=now,
+            )
+            if delta > 0:
+                self.cluster.add_nodes(version, delta)
+                scaler.record(
+                    version,
+                    old_size=n_nodes,
+                    new_size=n_nodes + delta,
+                    now=now,
+                    reason=scaler.reason_for(
+                        delta, queue_depth=queue_depth, n_nodes=n_nodes
+                    ),
+                )
+            elif delta < 0:
+                removed = self.cluster.remove_node(version, now=now)
+                if removed is not None:
+                    # Keep the utilization baseline consistent with the
+                    # surviving membership, else the next tick's busy delta
+                    # goes negative by the removed node's lifetime total.
+                    self._last_busy[version] -= removed.busy_seconds
+                    scaler.record(
+                        version,
+                        old_size=n_nodes,
+                        new_size=n_nodes - 1,
+                        now=now,
+                        reason="idle",
+                    )
+        if self._remaining > 0:
+            self._loop.schedule(
+                scaler.config.evaluation_interval_s,
+                self._on_autoscale_tick,
+                kind="autoscale",
+            )
+        else:
+            self._tick_scheduled = False

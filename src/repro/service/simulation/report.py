@@ -1,0 +1,169 @@
+"""Load-test results: per-request records and tail-latency aggregates.
+
+The replay benchmarks report *means* because they ignore contention; under
+offered load the interesting numbers are the tail percentiles (p95/p99
+response time), the queueing share of latency, throughput, and what the
+traffic cost.  :class:`LoadTestReport` aggregates the per-request
+:class:`RequestRecord` stream the engine emits, plus the autoscaler's
+actions, into exactly those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.simulation.autoscaler import ScalingEvent
+
+__all__ = ["LoadTestReport", "RequestRecord"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One simulated request's life, from arrival to response.
+
+    Attributes:
+        request_id: Simulator-assigned request identifier.
+        payload: The measured request id the request replayed.
+        tier: Requested tolerance.
+        arrival_s: Virtual arrival time.
+        finished_s: Virtual time the response became available.
+        response_time_s: End-to-end latency including queueing.
+        queue_wait_s: Time the request's first job waited before starting.
+        versions_used: Versions that consumed node time for the request.
+        escalated: Whether the ensemble escalated to the accurate version.
+        invocation_cost: Amount billed to the consumer.
+        node_seconds: Node-seconds consumed per version (amortized over
+            batches).
+    """
+
+    request_id: str
+    payload: object
+    tier: float
+    arrival_s: float
+    finished_s: float
+    response_time_s: float
+    queue_wait_s: float
+    versions_used: Tuple[str, ...]
+    escalated: bool
+    invocation_cost: float
+    node_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class LoadTestReport:
+    """Aggregate view of one simulated load test.
+
+    Attributes:
+        records: Per-request records, in completion order.
+        scaling_events: Actions the autoscaler took (empty without one).
+        final_pool_sizes: Node count per version when the test drained.
+        offered_rate: Mean offered arrival rate, when known.
+    """
+
+    records: List[RequestRecord]
+    scaling_events: List[ScalingEvent] = field(default_factory=list)
+    final_pool_sizes: Dict[str, int] = field(default_factory=dict)
+    offered_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("a load test report needs at least one record")
+        self._latencies = np.asarray(
+            [r.response_time_s for r in self.records], dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # latency
+    # ------------------------------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of end-to-end response time."""
+        return float(np.percentile(self._latencies, q))
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median response time."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        """95th-percentile response time."""
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        """99th-percentile response time."""
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean response time."""
+        return float(self._latencies.mean())
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        """Mean time a request's first job sat queued before starting."""
+        return float(np.mean([r.queue_wait_s for r in self.records]))
+
+    # ------------------------------------------------------------------
+    # throughput / cost / behaviour
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        """Number of completed requests."""
+        return len(self.records)
+
+    @property
+    def makespan_s(self) -> float:
+        """Virtual time from first arrival to last response."""
+        first = min(r.arrival_s for r in self.records)
+        last = max(r.finished_s for r in self.records)
+        return last - first
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per virtual second."""
+        span = self.makespan_s
+        return self.n_requests / span if span > 0.0 else float("inf")
+
+    @property
+    def total_invocation_cost(self) -> float:
+        """Sum billed to consumers across all requests."""
+        return float(sum(r.invocation_cost for r in self.records))
+
+    @property
+    def mean_invocation_cost(self) -> float:
+        """Mean billed cost per request."""
+        return self.total_invocation_cost / self.n_requests
+
+    @property
+    def total_node_seconds(self) -> Dict[str, float]:
+        """Node-seconds consumed per version across all requests."""
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            for version, seconds in record.node_seconds.items():
+                totals[version] = totals.get(version, 0.0) + seconds
+        return totals
+
+    @property
+    def escalation_rate(self) -> float:
+        """Fraction of requests the ensemble escalated."""
+        return float(np.mean([r.escalated for r in self.records]))
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers as a flat dict (for tables/JSON)."""
+        return {
+            "n_requests": self.n_requests,
+            "offered_rate_rps": self.offered_rate or float("nan"),
+            "throughput_rps": self.throughput_rps,
+            "p50_latency_s": self.p50_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "mean_latency_s": self.mean_latency_s,
+            "mean_queue_wait_s": self.mean_queue_wait_s,
+            "mean_invocation_cost": self.mean_invocation_cost,
+            "escalation_rate": self.escalation_rate,
+            "n_scaling_events": len(self.scaling_events),
+        }

@@ -143,6 +143,34 @@ class TestClusterDeployment:
         deployment.reset_accounting()
         assert deployment.iaas_spend()["slow"] == 0.0
 
+    def test_iaas_spend_retains_removed_node_cost(self):
+        deployment = self._deployment()
+        deployment.add_nodes("fast", 1)
+        for i in range(4):
+            deployment.serve_with_version(
+                "fast", ServiceRequest(request_id=f"r{i}", payload=None)
+            )
+        before = deployment.iaas_spend()["fast"]
+        assert before > 0.0
+        # no clock given: replay-path eviction only needs empty queues
+        removed = deployment.remove_node("fast")
+        assert removed is not None
+        # eviction does not refund money already spent
+        assert deployment.iaas_spend()["fast"] == pytest.approx(before)
+        deployment.reset_accounting()
+        assert deployment.iaas_spend()["fast"] == 0.0
+
+    def test_serve_with_version_refuses_pending_queues(self):
+        deployment = self._deployment()
+        deployment.submit("fast", ServiceRequest(request_id="queued", payload=None))
+        with pytest.raises(RuntimeError):
+            deployment.serve_with_version(
+                "fast", ServiceRequest(request_id="r2", payload=None)
+            )
+        # the queued request is still intact and drainable
+        responses = deployment.drain()
+        assert [r.request_id for r in responses] == ["queued"]
+
     def test_rejects_empty_pools(self):
         with pytest.raises(ValueError):
             ClusterDeployment({})
