@@ -12,6 +12,8 @@ from conftest import save_artifact
 from repro.analysis import format_table
 from repro.core import (
     RoutingRuleGenerator,
+    SingleVersionPolicy,
+    build_pricing,
     enumerate_configurations,
     evaluate_policy,
 )
@@ -38,6 +40,12 @@ def _space(measurements, width: str):
 def test_abl3_ensemble_width(benchmark, asr_measurements):
     widths = ("singles", "one-pair", "all-pairs")
 
+    # Shared pricing + OSFA baseline across the width comparison.
+    pricing = build_pricing(asr_measurements)
+    baseline = SingleVersionPolicy(
+        asr_measurements.most_accurate_version()
+    ).evaluate(asr_measurements)
+
     def run():
         results = {}
         for width in widths:
@@ -52,7 +60,12 @@ def test_abl3_ensemble_width(benchmark, asr_measurements):
             )
             table = generator.generate([TOLERANCE], "response-time")
             configuration = table.config_for(TOLERANCE)
-            metrics = evaluate_policy(asr_measurements, configuration.policy)
+            metrics = evaluate_policy(
+                asr_measurements,
+                configuration.policy,
+                pricing=pricing,
+                baseline_outcomes=baseline,
+            )
             results[width] = {
                 "space_size": len(configurations),
                 "configuration": configuration.name,

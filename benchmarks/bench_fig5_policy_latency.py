@@ -14,6 +14,7 @@ from repro.core import (
     EarlyTerminationPolicy,
     SequentialPolicy,
     SingleVersionPolicy,
+    build_pricing,
     evaluate_policy,
 )
 
@@ -30,8 +31,14 @@ def _policy_metrics(measurements, fast):
         "conc": ConcurrentPolicy(fast, accurate, THRESHOLD),
         "et": EarlyTerminationPolicy(fast, accurate, THRESHOLD),
     }
+    # Shared pricing + OSFA baseline for all five evaluations.
+    pricing = build_pricing(measurements)
+    baseline = policies["osfa"].evaluate(measurements)
     return {
-        name: evaluate_policy(measurements, policy) for name, policy in policies.items()
+        name: evaluate_policy(
+            measurements, policy, pricing=pricing, baseline_outcomes=baseline
+        )
+        for name, policy in policies.items()
     }
 
 

@@ -10,7 +10,7 @@ averaged across its services).
 from conftest import save_artifact
 
 from repro.analysis import format_table
-from repro.core import evaluate_policy
+from repro.core import SingleVersionPolicy, build_pricing, evaluate_policy
 from repro.core.tiers import default_tolerance_grid
 
 PAPER_ANCHORS = {0.01: 0.19, 0.05: 0.45, 0.10: 0.60}
@@ -18,10 +18,21 @@ PAPER_ANCHORS = {0.01: 0.19, 0.05: 0.45, 0.10: 0.60}
 
 def _sweep(measurements, generator, tolerances):
     table = generator.generate(tolerances, "response-time")
+    # One pricing model and one OSFA baseline evaluation for the whole
+    # sweep instead of rebuilding both on every evaluate_policy call.
+    pricing = build_pricing(measurements)
+    baseline = SingleVersionPolicy(
+        measurements.most_accurate_version()
+    ).evaluate(measurements)
     series = []
     for tolerance in tolerances:
         configuration = table.config_for(tolerance)
-        metrics = evaluate_policy(measurements, configuration.policy)
+        metrics = evaluate_policy(
+            measurements,
+            configuration.policy,
+            pricing=pricing,
+            baseline_outcomes=baseline,
+        )
         series.append(
             {
                 "tolerance": tolerance,

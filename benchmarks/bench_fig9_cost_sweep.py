@@ -8,7 +8,7 @@ paper's anchors are 21 % @ 1 %, 60 % @ 5 % and 70 % @ 10 % cost reduction
 from conftest import save_artifact
 
 from repro.analysis import format_table
-from repro.core import evaluate_policy
+from repro.core import SingleVersionPolicy, build_pricing, evaluate_policy
 from repro.core.tiers import default_tolerance_grid
 
 PAPER_ANCHORS = {0.01: 0.21, 0.05: 0.60, 0.10: 0.70}
@@ -16,10 +16,21 @@ PAPER_ANCHORS = {0.01: 0.21, 0.05: 0.60, 0.10: 0.70}
 
 def _sweep(measurements, generator, tolerances):
     table = generator.generate(tolerances, "cost")
+    # Shared pricing + OSFA baseline for the whole sweep (threaded through
+    # evaluate_policy instead of being rebuilt per call).
+    pricing = build_pricing(measurements)
+    baseline = SingleVersionPolicy(
+        measurements.most_accurate_version()
+    ).evaluate(measurements)
     series = []
     for tolerance in tolerances:
         configuration = table.config_for(tolerance)
-        metrics = evaluate_policy(measurements, configuration.policy)
+        metrics = evaluate_policy(
+            measurements,
+            configuration.policy,
+            pricing=pricing,
+            baseline_outcomes=baseline,
+        )
         series.append(
             {
                 "tolerance": tolerance,

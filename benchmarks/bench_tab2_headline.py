@@ -12,7 +12,7 @@ import numpy as np
 from conftest import save_artifact
 
 from repro.analysis import format_table
-from repro.core import evaluate_policy
+from repro.core import SingleVersionPolicy, build_pricing, evaluate_policy
 
 PAPER = {
     "response-time": {0.01: 0.19, 0.05: 0.45, 0.10: 0.60},
@@ -23,10 +23,20 @@ TIERS = (0.01, 0.05, 0.10)
 
 def _savings(measurements, generator, objective):
     table = generator.generate(list(TIERS), objective)
+    # Shared pricing + OSFA baseline across the tier evaluations.
+    pricing = build_pricing(measurements)
+    baseline = SingleVersionPolicy(
+        measurements.most_accurate_version()
+    ).evaluate(measurements)
     out = {}
     for tolerance in TIERS:
         configuration = table.config_for(tolerance)
-        metrics = evaluate_policy(measurements, configuration.policy)
+        metrics = evaluate_policy(
+            measurements,
+            configuration.policy,
+            pricing=pricing,
+            baseline_outcomes=baseline,
+        )
         saving = (
             metrics.response_time_reduction
             if objective == "response-time"

@@ -23,7 +23,13 @@ from repro.analysis import (
     osfa_limit_summary,
     version_pareto,
 )
-from repro.core import RoutingRuleGenerator, enumerate_configurations, evaluate_policy
+from repro.core import (
+    RoutingRuleGenerator,
+    SingleVersionPolicy,
+    build_pricing,
+    enumerate_configurations,
+    evaluate_policy,
+)
 from repro.service import measure_asr_service
 
 
@@ -69,11 +75,21 @@ def main(n_utterances: int = 120) -> None:
         measurements, configurations, confidence=0.999, seed=11
     )
 
+    # Shared pricing + OSFA baseline for the tier evaluations below.
+    pricing = build_pricing(measurements)
+    baseline = SingleVersionPolicy(
+        measurements.most_accurate_version()
+    ).evaluate(measurements)
     rows = []
     for tolerance in (0.01, 0.02, 0.05, 0.10):
         table = generator.generate([tolerance], "response-time")
         configuration = table.config_for(tolerance)
-        metrics = evaluate_policy(measurements, configuration.policy)
+        metrics = evaluate_policy(
+            measurements,
+            configuration.policy,
+            pricing=pricing,
+            baseline_outcomes=baseline,
+        )
         rows.append(
             [
                 f"{tolerance:.0%}",

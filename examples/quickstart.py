@@ -18,7 +18,13 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import format_table, osfa_limit_summary, version_summaries
-from repro.core import RoutingRuleGenerator, enumerate_configurations, evaluate_policy
+from repro.core import (
+    RoutingRuleGenerator,
+    SingleVersionPolicy,
+    build_pricing,
+    enumerate_configurations,
+    evaluate_policy,
+)
 from repro.service import measure_ic_service
 
 
@@ -52,14 +58,24 @@ def main() -> None:
         measurements, configurations, confidence=0.999, seed=1
     )
 
-    # 4. What each tier buys, for both objectives.
+    # 4. What each tier buys, for both objectives.  Pricing and the OSFA
+    # baseline are evaluated once and threaded through every call.
+    pricing = build_pricing(measurements)
+    baseline = SingleVersionPolicy(
+        measurements.most_accurate_version()
+    ).evaluate(measurements)
     tolerances = [0.01, 0.05, 0.10]
     for objective in ("response-time", "cost"):
         table = generator.generate(tolerances, objective)
         rows = []
         for tolerance in tolerances:
             configuration = table.config_for(tolerance)
-            metrics = evaluate_policy(measurements, configuration.policy)
+            metrics = evaluate_policy(
+                measurements,
+                configuration.policy,
+                pricing=pricing,
+                baseline_outcomes=baseline,
+            )
             rows.append(
                 [
                     f"{tolerance:.0%}",

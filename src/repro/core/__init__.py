@@ -13,6 +13,9 @@ The package follows the paper's architecture (Section IV):
   aggregation for policy outcomes.
 * :mod:`repro.core.simulator` -- ``simulate(sample, cfg)``: replay a
   configuration over measured requests (paper Fig. 7's inner call).
+* :mod:`repro.core.outcome_matrix` -- precomputed per-request outcome
+  columns turning bootstrap trials into vectorized gathers (the rule
+  generator's fast path; the scalar path remains the oracle).
 * :mod:`repro.core.bootstrap` / :mod:`repro.core.rule_generator` -- the
   bootstrapping routing-rule generator with statistical confidence
   (paper Fig. 7).
@@ -44,7 +47,12 @@ from repro.core.metrics import (
     error_degradation,
     evaluate_policy,
 )
-from repro.core.outcomes import EnsembleOutcomes
+from repro.core.outcome_matrix import (
+    ConfigurationColumns,
+    OutcomeMatrix,
+    TrialMetricBlock,
+)
+from repro.core.outcomes import EnsembleOutcomes, LazyRequestIds
 from repro.core.policies import (
     ConcurrentPolicy,
     EarlyTerminationPolicy,
@@ -59,14 +67,18 @@ from repro.core.tiers import ToleranceTier
 
 __all__ = [
     "ConcurrentPolicy",
+    "ConfigurationColumns",
     "EarlyTerminationPolicy",
     "EnsembleConfiguration",
     "EnsembleOutcomes",
     "EnsemblePolicy",
     "GuaranteeAudit",
+    "LazyRequestIds",
     "LogisticEscalationPolicy",
+    "OutcomeMatrix",
     "PolicyMetrics",
     "RoutingRuleGenerator",
+    "TrialMetricBlock",
     "RoutingRuleTable",
     "SequentialPolicy",
     "SingleVersionPolicy",

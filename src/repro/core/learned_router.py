@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.outcomes import EnsembleOutcomes
+from repro.core.outcomes import EnsembleOutcomes, LazyRequestIds
 from repro.core.policies import EnsemblePolicy
 from repro.service.measurement import MeasurementSet
 
@@ -158,7 +158,7 @@ class LogisticEscalationPolicy(EnsemblePolicy):
         response = np.where(escalate, fast_latency + accurate_latency, fast_latency)
         return EnsembleOutcomes(
             policy_name=self.name,
-            request_ids=tuple(measurements.request_ids[i] for i in rows),
+            request_ids=LazyRequestIds(measurements.request_ids, rows),
             error=error,
             response_time_s=response,
             node_seconds={

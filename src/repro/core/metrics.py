@@ -117,6 +117,8 @@ def evaluate_policy(
     indices: Optional[Sequence[int]] = None,
     pricing: Optional[PricingModel] = None,
     baseline_version: Optional[str] = None,
+    baseline_policy: Optional[SingleVersionPolicy] = None,
+    baseline_outcomes: Optional[EnsembleOutcomes] = None,
     degradation_mode: str = "relative",
 ) -> PolicyMetrics:
     """Evaluate one policy against the OSFA baseline on the same requests.
@@ -131,6 +133,12 @@ def evaluate_policy(
         baseline_version: The most accurate version the degradation and the
             reductions are measured against; defaults to the version with
             the lowest mean error on the *full* measurement set.
+        baseline_policy: Pre-built baseline policy object, so tight loops
+            (the bootstrap, the benchmark sweeps) do not rebuild one per
+            call.
+        baseline_outcomes: Pre-evaluated baseline outcomes *for the same*
+            ``indices``; skips re-evaluating the OSFA baseline entirely.
+            The caller is responsible for the row alignment.
         degradation_mode: ``"relative"`` or ``"absolute"``.
 
     Returns:
@@ -138,16 +146,17 @@ def evaluate_policy(
     """
     if pricing is None:
         pricing = build_pricing(measurements)
-    if baseline_version is None:
-        baseline_version = measurements.most_accurate_version()
-
-    baseline_policy = SingleVersionPolicy(baseline_version)
-    baseline = baseline_policy.evaluate(measurements, indices)
+    if baseline_outcomes is None:
+        if baseline_policy is None:
+            if baseline_version is None:
+                baseline_version = measurements.most_accurate_version()
+            baseline_policy = SingleVersionPolicy(baseline_version)
+        baseline_outcomes = baseline_policy.evaluate(measurements, indices)
     outcomes = policy.evaluate(measurements, indices)
 
     return summarize_outcomes(
         outcomes,
-        baseline,
+        baseline_outcomes,
         pricing,
         degradation_mode=degradation_mode,
     )

@@ -9,14 +9,71 @@ aggregation helpers the metrics layer builds on.
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.service.pricing import CostBreakdown, PricingModel
 
-__all__ = ["EnsembleOutcomes"]
+__all__ = ["EnsembleOutcomes", "LazyRequestIds"]
+
+
+class LazyRequestIds(SequenceABC):
+    """Request ids resolved from row indices only on access.
+
+    Policy evaluation used to materialise an O(n) tuple of request-id
+    strings on *every* call — a real cost inside the bootstrap loop, which
+    evaluates thousands of subsamples and never looks at the ids.  This
+    view stores the source id tuple plus the selected row indices and
+    resolves ids lazily; iterating, slicing and comparing materialise (and
+    cache) the tuple once.
+
+    Args:
+        source: The full request-id sequence (row order of the
+            measurement set).
+        rows: Integer row indices selecting and ordering the ids.
+    """
+
+    __slots__ = ("_source", "_rows", "_materialized")
+
+    def __init__(self, source: Sequence[str], rows: np.ndarray) -> None:
+        self._source = source
+        self._rows = np.asarray(rows, dtype=int)
+        self._materialized: Optional[Tuple[str, ...]] = None
+
+    def materialize(self) -> Tuple[str, ...]:
+        """The resolved id tuple (built on first call, then cached)."""
+        if self._materialized is None:
+            self._materialized = tuple(
+                self._source[i] for i in self._rows
+            )
+        return self._materialized
+
+    def __len__(self) -> int:
+        return int(self._rows.size)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return self.materialize()[item]
+        return self._source[int(self._rows[item])]
+
+    def __iter__(self):
+        return iter(self.materialize())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazyRequestIds):
+            return self.materialize() == other.materialize()
+        if isinstance(other, (tuple, list)):
+            return self.materialize() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.materialize())
+
+    def __repr__(self) -> str:
+        return f"LazyRequestIds(n={len(self)})"
 
 
 @dataclass
@@ -25,7 +82,8 @@ class EnsembleOutcomes:
 
     Attributes:
         policy_name: Name of the policy that produced the outcomes.
-        request_ids: The requests covered (row order of all arrays).
+        request_ids: The requests covered (row order of all arrays); either
+            a materialised tuple or a :class:`LazyRequestIds` view.
         error: Error of the result returned to the consumer, per request.
         response_time_s: End-to-end response time, per request.
         node_seconds: Node-seconds consumed per service version, per request
@@ -35,7 +93,7 @@ class EnsembleOutcomes:
     """
 
     policy_name: str
-    request_ids: Tuple[str, ...]
+    request_ids: Sequence[str]
     error: np.ndarray
     response_time_s: np.ndarray
     node_seconds: Dict[str, np.ndarray]

@@ -34,7 +34,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.outcomes import EnsembleOutcomes
+from repro.core.outcomes import EnsembleOutcomes, LazyRequestIds
 from repro.service.measurement import MeasurementSet
 
 __all__ = [
@@ -133,7 +133,7 @@ class SingleVersionPolicy(EnsemblePolicy):
         latency = measurements.latency_s[rows, col]
         return EnsembleOutcomes(
             policy_name=self.name,
-            request_ids=tuple(measurements.request_ids[i] for i in rows),
+            request_ids=LazyRequestIds(measurements.request_ids, rows),
             error=measurements.error[rows, col],
             response_time_s=latency,
             node_seconds={self._version: latency.copy()},
@@ -206,7 +206,7 @@ class SequentialPolicy(_TwoVersionPolicy):
         response = np.where(escalate, fast_lat + acc_lat, fast_lat)
         return EnsembleOutcomes(
             policy_name=self.name,
-            request_ids=tuple(measurements.request_ids[i] for i in rows),
+            request_ids=LazyRequestIds(measurements.request_ids, rows),
             error=error,
             response_time_s=response,
             node_seconds={
@@ -236,7 +236,7 @@ class ConcurrentPolicy(_TwoVersionPolicy):
         response = np.where(escalate, np.maximum(fast_lat, acc_lat), fast_lat)
         return EnsembleOutcomes(
             policy_name=self.name,
-            request_ids=tuple(measurements.request_ids[i] for i in rows),
+            request_ids=LazyRequestIds(measurements.request_ids, rows),
             error=error,
             response_time_s=response,
             node_seconds={
@@ -276,7 +276,7 @@ class EarlyTerminationPolicy(_TwoVersionPolicy):
         )
         return EnsembleOutcomes(
             policy_name=self.name,
-            request_ids=tuple(measurements.request_ids[i] for i in rows),
+            request_ids=LazyRequestIds(measurements.request_ids, rows),
             error=error,
             response_time_s=response,
             node_seconds={

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.bootstrap import WorstCaseEstimate, bootstrap_configuration
 from repro.core.configuration import EnsembleConfiguration, enumerate_configurations
 from repro.core.metrics import build_pricing
+from repro.core.outcome_matrix import OutcomeMatrix
 from repro.core.policies import SingleVersionPolicy
 from repro.core.router import RoutingRuleTable
 from repro.service.measurement import MeasurementSet
@@ -45,6 +46,14 @@ class RoutingRuleGenerator:
         degradation_mode: ``"relative"`` (paper default) or ``"absolute"``.
         min_trials: Minimum bootstrap trials per configuration.
         max_trials: Safety cap on bootstrap trials per configuration.
+        engine: ``"vectorized"`` (default) bootstraps against a shared
+            :class:`~repro.core.outcome_matrix.OutcomeMatrix` — one pricing
+            model and one cached baseline evaluation across all
+            configurations and trials; ``"legacy"`` keeps the scalar
+            per-trial loop of the seed implementation (the correctness
+            oracle, and the baseline `benchmarks/bench_perf.py` measures
+            speedups against).  Both produce identical results for the
+            same seed.
     """
 
     def __init__(
@@ -58,7 +67,12 @@ class RoutingRuleGenerator:
         degradation_mode: str = "relative",
         min_trials: int = 10,
         max_trials: int = 120,
+        engine: str = "vectorized",
     ) -> None:
+        if engine not in ("vectorized", "legacy"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'legacy', got {engine!r}"
+            )
         self.measurements = train_measurements
         self.configurations: List[EnsembleConfiguration] = list(
             configurations
@@ -70,12 +84,27 @@ class RoutingRuleGenerator:
         self.confidence = confidence
         self.degradation_mode = degradation_mode
         self.sample_fraction = sample_fraction
+        self.engine = engine
         self._confidence_test = ConfidenceTest(
             confidence=confidence, min_trials=min_trials, max_trials=max_trials
         )
         self._rng = np.random.default_rng(seed)
         self._pricing = build_pricing(train_measurements)
         self.baseline_version = train_measurements.most_accurate_version()
+
+        #: Shared precomputed outcome columns (``None`` on the legacy
+        #: engine).  Configurations whose policies the matrix cannot expand
+        #: (custom ``evaluate`` overrides) transparently use the scalar
+        #: loop.
+        self.outcome_matrix: Optional[OutcomeMatrix] = None
+        if engine == "vectorized":
+            self.outcome_matrix = OutcomeMatrix.build(
+                train_measurements,
+                self.configurations,
+                pricing=self._pricing,
+                baseline_version=self.baseline_version,
+                degradation_mode=degradation_mode,
+            )
 
         #: Worst-case estimate per configuration, aligned with
         #: :attr:`configurations` (mirrors ``self.results`` in Fig. 7).
@@ -97,6 +126,7 @@ class RoutingRuleGenerator:
             pricing=self._pricing,
             baseline_version=self.baseline_version,
             degradation_mode=self.degradation_mode,
+            outcome_matrix=self.outcome_matrix,
         )
 
     def estimate_for(self, config_id: str) -> WorstCaseEstimate:

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from repro.core.configuration import EnsembleConfiguration
 from repro.core.metrics import build_pricing, evaluate_policy
+from repro.core.policies import SingleVersionPolicy
 from repro.service.measurement import MeasurementSet
 from repro.service.pricing import PricingModel
 
@@ -74,6 +75,7 @@ def simulate(
     indices: Optional[Sequence[int]] = None,
     pricing: Optional[PricingModel] = None,
     baseline_version: Optional[str] = None,
+    baseline_policy: Optional["SingleVersionPolicy"] = None,
     degradation_mode: str = "relative",
 ) -> TierSimulation:
     """Simulate one configuration over (a sample of) the measurements.
@@ -90,6 +92,9 @@ def simulate(
             tight bootstrap loops).
         baseline_version: Most accurate version used as the degradation
             reference; defaults to the set's most accurate version.
+        baseline_policy: Pre-built baseline policy threaded through to
+            :func:`~repro.core.metrics.evaluate_policy`, so bootstrap loops
+            do not rebuild one per trial.
         degradation_mode: ``"relative"`` or ``"absolute"``.
     """
     if pricing is None:
@@ -100,6 +105,7 @@ def simulate(
         indices=indices,
         pricing=pricing,
         baseline_version=baseline_version,
+        baseline_policy=baseline_policy,
         degradation_mode=degradation_mode,
     )
     return TierSimulation(

@@ -15,7 +15,8 @@ so it can be unit- and property-tested independent of the generator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.stats import norm
@@ -101,6 +102,65 @@ def spread_is_confident(values: Sequence[float], confidence: float) -> bool:
     return straddles or wide
 
 
+@lru_cache(maxsize=64)
+def _cached_quantile(confidence: float) -> float:
+    """Memoised :func:`normal_quantile` for the vectorized prefix scan.
+
+    ``scipy.stats.norm.ppf`` costs tens of microseconds per call, which the
+    scalar :func:`spread_is_confident` pays on every check; the blocked
+    bootstrap path calls the quantile once per scan instead.
+    """
+    return normal_quantile(confidence)
+
+
+def _prefix_spread_flags(
+    stacked: np.ndarray, quantile: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classify every prefix of every row of ``stacked`` (shape ``(C, T)``).
+
+    Returns ``(satisfied, uncertain)`` boolean arrays of the same shape,
+    where entry ``[c, t - 1]`` describes the prefix ``stacked[c, :t]``.
+    ``satisfied`` is the vectorized verdict of
+    :func:`spread_is_confident`; ``uncertain`` marks prefixes whose verdict
+    sits within the numerical error bound of the running statistics (or
+    whose spread is ~zero, where the scalar test switches to its
+    constant-sample rule) and must be re-checked with the exact scalar
+    test before being trusted.
+
+    The running mean/variance use cumulative sums of mean-shifted values;
+    the error bounds below are conservative for that scheme, so a prefix is
+    only ever classified "certain" when the scalar test provably agrees.
+    """
+    x = stacked
+    shift = x.mean(axis=1, keepdims=True)
+    y = x - shift
+    t = np.arange(1.0, x.shape[1] + 1.0)
+    mean = np.cumsum(y, axis=1) / t
+    var = np.maximum(np.cumsum(y * y, axis=1) / t - mean * mean, 0.0)
+    std = np.sqrt(var)
+    ymin = np.minimum.accumulate(y, axis=1)
+    ymax = np.maximum.accumulate(y, axis=1)
+    amax = np.maximum.accumulate(np.abs(y), axis=1)
+
+    qstd = quantile * std
+    low_margin = (ymin - mean) + qstd  # < 0 -> lower tail straddled
+    high_margin = (ymax - mean) - qstd  # > 0 -> upper tail straddled
+    wide_margin = (ymax - ymin) - 2.0 * qstd  # > 0 -> wide enough
+    satisfied = ((low_margin < 0.0) & (high_margin > 0.0)) | (wide_margin > 0.0)
+
+    eps = np.finfo(float).eps
+    var_err = 16.0 * t * eps * (amax * amax + np.finfo(float).tiny)
+    std_err = var_err / np.maximum(std, np.sqrt(var_err))
+    tol = 4.0 * quantile * std_err + 64.0 * t * eps * (amax + std)
+    uncertain = (
+        (np.abs(low_margin) <= tol)
+        | (np.abs(high_margin) <= tol)
+        | (np.abs(wide_margin) <= tol)
+        | (std <= std_err)
+    )
+    return satisfied, uncertain
+
+
 @dataclass(frozen=True)
 class ConfidenceTest:
     """A reusable spread test bound to a confidence level.
@@ -145,3 +205,99 @@ class ConfidenceTest:
         if not columns:
             return False
         return all(self.is_satisfied(column) for column in columns)
+
+    def first_satisfied(
+        self,
+        metric_columns: Sequence[Sequence[float]],
+        *,
+        start: int = 1,
+    ) -> Optional[int]:
+        """Earliest prefix length at which every metric column satisfies.
+
+        This is the vectorized equivalent of running ``all_satisfied`` on
+        ``[col[:t] for col in metric_columns]`` for ``t = start, start + 1,
+        ...`` and returning the first ``t`` that passes — the check cadence
+        of the bootstrap loop (one check per trial).  Prefix verdicts are
+        computed with running statistics; any prefix within numerical error
+        of a decision boundary is re-checked with the exact scalar test, so
+        the returned trial count matches the sequential loop.
+
+        Args:
+            metric_columns: Equal-length trial-value columns (one per
+                metric), in trial order.
+            start: First prefix length to consider (earlier prefixes are
+                assumed to have already been checked and found wanting).
+
+        Returns:
+            The earliest satisfying prefix length, or ``None`` when no
+            prefix of the supplied columns satisfies the test yet.
+        """
+        columns = [np.asarray(column, dtype=float) for column in metric_columns]
+        if not columns:
+            return None
+        n = columns[0].size
+        if any(column.size != n for column in columns):
+            raise ValueError("metric columns must have equal length")
+        lo = max(start, self.min_trials, 1)
+        if lo > n:
+            return None
+        if lo >= self.max_trials:
+            # is_satisfied passes unconditionally once size reaches
+            # max_trials, so the first prefix considered wins.
+            return lo
+        hi = min(n, self.max_trials)
+
+        quantile = _cached_quantile(self.confidence)
+        if lo == hi:
+            # A single candidate prefix (e.g. the bootstrap's min_trials
+            # block): the exact scalar check is cheaper than a prefix scan.
+            if all(
+                self._is_satisfied_exact(column, lo, quantile)
+                for column in columns
+            ):
+                return lo
+            return None
+        satisfied, uncertain = _prefix_spread_flags(
+            np.stack([column[:hi] for column in columns]), quantile
+        )
+        certain_false = (~satisfied & ~uncertain).any(axis=0)
+        any_uncertain = uncertain.any(axis=0)
+        all_satisfied = satisfied.all(axis=0)
+        if hi >= self.max_trials:
+            # the max_trials safety valve passes regardless of spread
+            certain_false[self.max_trials - 1 :] = False
+            any_uncertain[self.max_trials - 1 :] = False
+            all_satisfied[self.max_trials - 1 :] = True
+
+        for index in np.flatnonzero(~certain_false[lo - 1 :]):
+            t = lo + int(index)
+            if not any_uncertain[t - 1]:
+                if all_satisfied[t - 1]:
+                    return t
+                continue
+            if all(
+                self._is_satisfied_exact(column, t, quantile)
+                for column in columns
+            ):
+                return t
+        return None
+
+    def _is_satisfied_exact(
+        self, column: np.ndarray, t: int, quantile: float
+    ) -> bool:
+        """Scalar :meth:`is_satisfied` on ``column[:t]`` with the quantile
+        precomputed (``scipy``'s ``ppf`` is the expensive part of the
+        scalar test; the verdict is unchanged)."""
+        if t < self.min_trials:
+            return False
+        if t >= self.max_trials:
+            return True
+        arr = column[:t]
+        if float(arr.std()) == 0.0:
+            needed = int(np.ceil(1.0 / max(1.0 - self.confidence, 1e-12)))
+            needed = min(needed, 1000)
+            return arr.size >= min(needed, 30)
+        z = zscores(arr)
+        straddles = bool(z.min() < -quantile and z.max() > quantile)
+        wide = bool(z.max() - z.min() > 2.0 * quantile)
+        return straddles or wide

@@ -1,0 +1,313 @@
+"""Equivalence tests: the vectorized outcome-matrix path vs the scalar oracle.
+
+The outcome-matrix engine exists purely for speed; these tests pin its
+contract — for the same seed it must reproduce the legacy scalar path's
+results exactly (trial metrics, worst-case estimates, rng consumption and
+emitted rule tables), across all four policy kinds and the threshold grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import bootstrap_configuration
+from repro.core.configuration import EnsembleConfiguration, enumerate_configurations
+from repro.core.metrics import build_pricing
+from repro.core.outcome_matrix import OutcomeMatrix
+from repro.core.policies import EnsemblePolicy, SingleVersionPolicy
+from repro.core.rule_generator import RoutingRuleGenerator
+from repro.core.simulator import simulate
+from repro.stats.confidence import ConfidenceTest
+from repro.stats.resampling import subsample_indices
+
+TOLERANCE = 1e-12
+
+
+@pytest.fixture(scope="module")
+def space(request):
+    """Measurements plus a design space covering all four policy kinds."""
+    measurements = request.getfixturevalue("ic_measurements")
+    configurations = enumerate_configurations(
+        measurements,
+        thresholds=(0.4, 0.55, 0.7),
+        fast_versions=["ic_cpu_squeezenet", "ic_cpu_googlenet"],
+    )
+    return measurements, configurations
+
+
+@pytest.fixture(scope="module")
+def matrix(space):
+    measurements, configurations = space
+    return OutcomeMatrix.build(measurements, configurations)
+
+
+class TestTrialMetricsEquivalence:
+    def test_matches_simulate_for_every_configuration(self, space, matrix):
+        """Vectorized per-trial metrics == scalar simulate(), bit for bit."""
+        measurements, configurations = space
+        pricing = build_pricing(measurements)
+        baseline = measurements.most_accurate_version()
+        rng = np.random.default_rng(123)
+        kinds_seen = set()
+        for configuration in configurations:
+            kinds_seen.add(configuration.kind)
+            indices = np.stack(
+                [
+                    subsample_indices(measurements.n_requests, 200, rng=rng)
+                    for _ in range(4)
+                ]
+            )
+            block = matrix.trial_metrics(configuration.config_id, indices)
+            for row in range(indices.shape[0]):
+                scalar = simulate(
+                    measurements,
+                    configuration,
+                    indices=indices[row],
+                    pricing=pricing,
+                    baseline_version=baseline,
+                )
+                assert block.error_degradation[row] == pytest.approx(
+                    scalar.error_degradation, abs=TOLERANCE
+                )
+                assert block.mean_response_time_s[row] == pytest.approx(
+                    scalar.mean_response_time_s, abs=TOLERANCE
+                )
+                assert block.mean_invocation_cost[row] == pytest.approx(
+                    scalar.mean_invocation_cost, rel=TOLERANCE
+                )
+        assert kinds_seen == {"single", "seq", "conc", "et"}
+
+    def test_trial_metrics_bitwise_identical(self, space, matrix):
+        """On this platform the fast path is exactly identical, which is
+        what keeps the bootstrap's stopping decisions aligned."""
+        measurements, configurations = space
+        pricing = build_pricing(measurements)
+        baseline = measurements.most_accurate_version()
+        rng = np.random.default_rng(7)
+        for configuration in configurations[:8]:
+            indices = subsample_indices(measurements.n_requests, 200, rng=rng)
+            block = matrix.trial_metrics(configuration.config_id, indices)
+            scalar = simulate(
+                measurements,
+                configuration,
+                indices=indices,
+                pricing=pricing,
+                baseline_version=baseline,
+            )
+            assert float(block.error_degradation[0]) == scalar.error_degradation
+            assert float(block.mean_response_time_s[0]) == scalar.mean_response_time_s
+            assert float(block.mean_invocation_cost[0]) == scalar.mean_invocation_cost
+
+    def test_single_trial_vector_accepted(self, space, matrix):
+        measurements, configurations = space
+        metrics = matrix.trial_metrics(
+            configurations[0].config_id, np.arange(50)
+        )
+        assert metrics.error_degradation.shape == (1,)
+
+    def test_rejects_empty_and_unknown(self, space, matrix):
+        _, configurations = space
+        with pytest.raises(ValueError):
+            matrix.trial_metrics(
+                configurations[0].config_id, np.empty((2, 0), dtype=int)
+            )
+        with pytest.raises(KeyError):
+            matrix.columns_for("cfg_nope")
+
+
+class TestBootstrapEquivalence:
+    def test_estimates_and_rng_state_match(self, space, matrix):
+        """Fast and scalar bootstraps agree on every estimate field, the
+        trial count, and — critically — the generator state they leave
+        behind (so later configurations see identical draws)."""
+        measurements, configurations = space
+        pricing = build_pricing(measurements)
+        baseline = measurements.most_accurate_version()
+        test = ConfidenceTest(confidence=0.95, min_trials=6, max_trials=25)
+        for configuration in configurations:
+            rng_a = np.random.default_rng(42)
+            rng_b = np.random.default_rng(42)
+            scalar = bootstrap_configuration(
+                measurements,
+                configuration,
+                confidence_test=test,
+                rng=rng_a,
+                pricing=pricing,
+                baseline_version=baseline,
+            )
+            fast = bootstrap_configuration(
+                measurements,
+                configuration,
+                confidence_test=test,
+                rng=rng_b,
+                pricing=pricing,
+                baseline_version=baseline,
+                outcome_matrix=matrix,
+            )
+            assert fast.n_trials == scalar.n_trials
+            assert fast.error_degradation == pytest.approx(
+                scalar.error_degradation, abs=TOLERANCE
+            )
+            assert fast.mean_response_time_s == pytest.approx(
+                scalar.mean_response_time_s, abs=TOLERANCE
+            )
+            assert fast.mean_invocation_cost == pytest.approx(
+                scalar.mean_invocation_cost, rel=TOLERANCE
+            )
+            assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_rejects_mismatched_matrix_inputs(self, space, matrix):
+        """The fast path refuses inputs the matrix was not built for."""
+        measurements, configurations = space
+        test = ConfidenceTest(confidence=0.95, min_trials=6, max_trials=25)
+        kw = dict(confidence_test=test, outcome_matrix=matrix)
+        with pytest.raises(ValueError, match="degradation_mode"):
+            bootstrap_configuration(
+                measurements,
+                configurations[0],
+                rng=np.random.default_rng(0),
+                degradation_mode="absolute",
+                **kw,
+            )
+        with pytest.raises(ValueError, match="pricing"):
+            bootstrap_configuration(
+                measurements,
+                configurations[0],
+                rng=np.random.default_rng(0),
+                pricing=build_pricing(measurements, markup=5.0),
+                **kw,
+            )
+        # an equal-valued (not identical) pricing is accepted
+        bootstrap_configuration(
+            measurements,
+            configurations[0],
+            rng=np.random.default_rng(0),
+            pricing=build_pricing(measurements),
+            **kw,
+        )
+
+    def test_small_trial_blocks_change_nothing(self, space, matrix):
+        """The block size is a throughput knob only."""
+        measurements, configurations = space
+        test = ConfidenceTest(confidence=0.95, min_trials=6, max_trials=25)
+        results = []
+        for trial_block in (1, 3, 64):
+            rng = np.random.default_rng(9)
+            results.append(
+                bootstrap_configuration(
+                    measurements,
+                    configurations[5],
+                    confidence_test=test,
+                    rng=rng,
+                    outcome_matrix=matrix,
+                    trial_block=trial_block,
+                )
+            )
+        assert all(r == results[0] for r in results[1:])
+
+
+class TestGeneratorEquivalence:
+    @pytest.fixture(scope="class")
+    def generators(self, space):
+        measurements, configurations = space
+        kw = dict(confidence=0.999, seed=5, min_trials=8, max_trials=30)
+        return (
+            RoutingRuleGenerator(
+                measurements, configurations, engine="legacy", **kw
+            ),
+            RoutingRuleGenerator(
+                measurements, configurations, engine="vectorized", **kw
+            ),
+        )
+
+    def test_worst_case_estimates_match(self, generators):
+        legacy, fast = generators
+        for a, b in zip(legacy.results, fast.results):
+            assert a.config_id == b.config_id
+            assert a.n_trials == b.n_trials
+            assert a.error_degradation == pytest.approx(
+                b.error_degradation, abs=TOLERANCE
+            )
+            assert a.mean_response_time_s == pytest.approx(
+                b.mean_response_time_s, abs=TOLERANCE
+            )
+            assert a.mean_invocation_cost == pytest.approx(
+                b.mean_invocation_cost, rel=TOLERANCE
+            )
+
+    def test_rule_tables_identical(self, generators):
+        """The emitted rule tables — the generator's actual product — are
+        identical for both engines, for both objectives."""
+        legacy, fast = generators
+        for objective in ("response-time", "cost"):
+            table_a = legacy.generate([0.0, 0.01, 0.05, 0.10], objective)
+            table_b = fast.generate([0.0, 0.01, 0.05, 0.10], objective)
+            assert {
+                t: c.config_id for t, c in table_a.rules.items()
+            } == {t: c.config_id for t, c in table_b.rules.items()}
+
+    def test_same_seed_same_rule_table(self, space):
+        """Determinism: constructing twice with one seed gives one table."""
+        measurements, configurations = space
+        kw = dict(confidence=0.999, seed=5, min_trials=8, max_trials=30)
+        tables = []
+        for _ in range(2):
+            generator = RoutingRuleGenerator(
+                measurements, configurations, engine="vectorized", **kw
+            )
+            table = generator.generate([0.01, 0.05, 0.10], "response-time")
+            tables.append(
+                {t: c.config_id for t, c in table.rules.items()}
+            )
+        assert tables[0] == tables[1]
+
+    def test_rejects_unknown_engine(self, space):
+        measurements, configurations = space
+        with pytest.raises(ValueError):
+            RoutingRuleGenerator(measurements, configurations, engine="warp")
+
+
+class _OpaquePolicy(EnsemblePolicy):
+    """A policy the outcome matrix cannot expand (custom evaluate)."""
+
+    kind = "opaque"
+
+    def __init__(self, version: str) -> None:
+        self._inner = SingleVersionPolicy(version)
+
+    @property
+    def name(self):
+        return f"opaque[{self._inner.version}]"
+
+    @property
+    def versions(self):
+        return self._inner.versions
+
+    def evaluate(self, measurements, indices=None):
+        return self._inner.evaluate(measurements, indices)
+
+
+class TestUnsupportedPolicies:
+    def test_matrix_skips_unsupported(self, space):
+        measurements, _ = space
+        opaque = EnsembleConfiguration("cfg_opq", _OpaquePolicy("ic_cpu_vgg16"))
+        matrix = OutcomeMatrix.build(measurements, [opaque])
+        assert "cfg_opq" not in matrix
+        assert not OutcomeMatrix.supports(opaque.policy)
+
+    def test_generator_falls_back_to_scalar_path(self, space):
+        """A design space mixing supported and opaque policies still
+        bootstraps — opaque configurations ride the scalar oracle."""
+        measurements, configurations = space
+        mixed = list(configurations[:3]) + [
+            EnsembleConfiguration("cfg_opq", _OpaquePolicy("ic_cpu_vgg16"))
+        ]
+        generator = RoutingRuleGenerator(
+            measurements,
+            mixed,
+            confidence=0.9,
+            seed=3,
+            min_trials=5,
+            max_trials=12,
+        )
+        assert len(generator.results) == 4
+        assert generator.estimate_for("cfg_opq").n_trials >= 5

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.metrics import build_pricing, error_degradation, evaluate_policy
-from repro.core.outcomes import EnsembleOutcomes
+from repro.core.outcomes import EnsembleOutcomes, LazyRequestIds
 from repro.core.policies import (
     ConcurrentPolicy,
     EarlyTerminationPolicy,
@@ -190,3 +190,33 @@ class TestEvaluatePolicy:
         metrics = evaluate_policy(ms, SingleVersionPolicy("slow"), pricing=pricing)
         expected = 0.5 * ms.instance_for("slow").price_per_second * pricing.markup
         assert metrics.mean_invocation_cost == pytest.approx(expected)
+
+
+class TestLazyRequestIds:
+    """Policy outcomes resolve request ids lazily but behave like tuples."""
+
+    def test_policy_outcomes_expose_sequence_semantics(self):
+        ms = _two_version_set()
+        outcomes = SequentialPolicy("fast", "slow", 0.5).evaluate(ms, [2, 0, 1])
+        ids = outcomes.request_ids
+        assert isinstance(ids, LazyRequestIds)
+        assert len(ids) == 3
+        assert ids[0] == ms.request_ids[2]
+        assert ids[-1] == ms.request_ids[1]
+        assert tuple(ids) == (
+            ms.request_ids[2],
+            ms.request_ids[0],
+            ms.request_ids[1],
+        )
+        assert ids == tuple(ids)  # comparable against plain tuples
+        assert ids[:2] == tuple(ids)[:2]
+
+    def test_materialisation_is_cached(self):
+        ms = _two_version_set()
+        ids = SingleVersionPolicy("fast").evaluate(ms).request_ids
+        assert ids.materialize() is ids.materialize()
+
+    def test_full_evaluation_covers_all_requests(self):
+        ms = _two_version_set()
+        outcomes = SingleVersionPolicy("fast").evaluate(ms)
+        assert tuple(outcomes.request_ids) == ms.request_ids

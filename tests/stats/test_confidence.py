@@ -86,3 +86,71 @@ class TestConfidenceTest:
             ConfidenceTest(min_trials=1)
         with pytest.raises(ValueError):
             ConfidenceTest(min_trials=10, max_trials=5)
+
+
+class TestFirstSatisfied:
+    """The vectorized prefix scan must agree with the sequential loop."""
+
+    @staticmethod
+    def _naive(test, columns, start):
+        length = len(columns[0])
+        for t in range(start, length + 1):
+            if test.all_satisfied([column[:t] for column in columns]):
+                return t
+        return None
+
+    def test_matches_sequential_loop_on_random_columns(self):
+        rng = np.random.default_rng(2024)
+        for _ in range(300):
+            length = int(rng.integers(1, 70))
+            test = ConfidenceTest(
+                confidence=float(rng.choice([0.9, 0.95, 0.999])),
+                min_trials=int(rng.integers(2, 10)),
+                max_trials=int(rng.integers(10, 60)),
+            )
+            columns = []
+            for _ in range(int(rng.integers(1, 4))):
+                kind = int(rng.integers(0, 4))
+                if kind == 0:
+                    column = np.zeros(length)
+                elif kind == 1:
+                    column = np.full(length, float(rng.normal()))
+                elif kind == 2:
+                    column = rng.normal(size=length) * (
+                        10.0 ** float(rng.integers(-6, 6))
+                    )
+                else:
+                    column = np.round(rng.normal(size=length), 1)
+                columns.append(column)
+            start = int(rng.integers(1, 5))
+            assert test.first_satisfied(columns, start=start) == self._naive(
+                test, columns, start
+            )
+
+    def test_constant_columns_follow_the_scalar_constant_rule(self):
+        test = ConfidenceTest(confidence=0.9, min_trials=2, max_trials=100)
+        zeros = np.zeros(40)
+        # The scalar test accepts a constant sample once it has
+        # ceil(1 / (1 - confidence)) = 10 trials.
+        assert test.first_satisfied((zeros,)) == self._naive(test, (zeros,), 1)
+
+    def test_start_skips_earlier_prefixes(self):
+        test = ConfidenceTest(confidence=0.9, min_trials=2, max_trials=100)
+        spread = np.array([0.0, 10.0, -10.0, 0.1, 0.2, 0.3])
+        first = test.first_satisfied((spread,))
+        assert first is not None
+        assert test.first_satisfied((spread,), start=first + 1) == self._naive(
+            test, (spread,), first + 1
+        )
+
+    def test_max_trials_prefix_always_satisfies(self):
+        test = ConfidenceTest(confidence=0.999, min_trials=2, max_trials=4)
+        flat = np.array([1.0, 1.1, 1.05, 1.02, 1.01])
+        assert test.first_satisfied((flat,)) == 4
+
+    def test_empty_and_mismatched_columns(self):
+        test = ConfidenceTest()
+        assert test.first_satisfied(()) is None
+        assert test.first_satisfied((np.zeros(3),)) is None  # < min_trials
+        with pytest.raises(ValueError):
+            test.first_satisfied((np.zeros(3), np.zeros(4)))
