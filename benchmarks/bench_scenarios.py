@@ -1,0 +1,152 @@
+"""SCEN — degraded-mode resilience: tiered deployment vs OSFA.
+
+The load benchmarks (LOAD1/LOAD2) compare tail latency and cost on
+*healthy* clusters; this benchmark puts the same tier-mix question under
+the six canonical fault-injection scenarios
+(:func:`repro.service.simulation.scenarios.canonical_scenarios`): healthy
+baseline, flash-crowd spike, diurnal wave, node crash with recovery, a
+straggler, and a flaky transient-fault window with retries.
+
+Both deployments get the same node budget.  The tiered deployment splits
+it between a fast pool and an accurate pool behind the canonical
+``seq(fast, slow, 0.6)`` ensemble; OSFA spends the whole budget on the
+accurate version, and every infrastructure fault is remapped onto that
+pool (a crash is a crash — it hits whatever you deployed).  Per scenario
+we report availability, p95 latency, goodput, retries and mean billed
+cost, and assert the determinism contract (same spec + seed -> same
+digest).
+
+Smoke mode (for CI): set ``REPRO_BENCH_SMOKE=1`` to shrink request
+counts.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py -q -s
+"""
+
+import math
+import os
+from dataclasses import replace
+
+from conftest import save_artifact
+
+from repro.analysis import format_table
+from repro.service.simulation import (
+    NodeCrash,
+    NodeSlowdown,
+    TransientFaults,
+    canonical_scenarios,
+    osfa_configuration,
+    run_scenario,
+    scenario_measurements,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+N_REQUESTS = 80 if SMOKE else None  # None keeps each spec's own size
+
+
+def _osfa_variant(spec):
+    """The OSFA counterpart: same node budget, accurate version only.
+
+    Faults are remapped onto the single pool — infrastructure failures do
+    not care which model the dead machine was serving — with node indices
+    clamped into the merged pool.
+    """
+    budget = sum(spec.pools.values())
+    faults = []
+    for fault in spec.faults:
+        if isinstance(fault, (NodeCrash, NodeSlowdown)):
+            faults.append(
+                replace(
+                    fault,
+                    version="slow",
+                    node_index=min(fault.node_index, budget - 1),
+                )
+            )
+        elif isinstance(fault, TransientFaults):
+            faults.append(replace(fault, versions=("slow",)))
+        else:
+            faults.append(fault)
+    return replace(
+        spec,
+        name=f"{spec.name}-osfa",
+        pools={"slow": budget},
+        configuration=osfa_configuration(),
+        faults=tuple(faults),
+    )
+
+
+def _row(name, deployment, report):
+    summary = report.summary()
+    return [
+        name,
+        deployment,
+        summary["availability"],
+        summary["p95_latency_s"],
+        summary["goodput_rps"],
+        summary["total_retries"],
+        summary["mean_invocation_cost"] * 1e6,
+    ]
+
+
+def test_scenario_resilience_sweep():
+    measurements = scenario_measurements()
+    specs = canonical_scenarios()
+    rows = []
+    artifact = {}
+    for name, spec in specs.items():
+        if N_REQUESTS is not None:
+            spec = replace(spec, n_requests=N_REQUESTS)
+        tiered = run_scenario(spec, measurements, check_invariants=True)
+        osfa = run_scenario(
+            _osfa_variant(spec), measurements, check_invariants=True
+        )
+
+        # Determinism contract: every scenario reproduces its own digest.
+        again = run_scenario(spec, measurements, check_invariants=True)
+        assert tiered.digest() == again.digest(), name
+
+        for deployment, report in (("tiered", tiered), ("osfa", osfa)):
+            assert report.n_requests == spec.n_requests
+            assert 0.0 <= report.availability <= 1.0
+            rows.append(_row(name, deployment, report))
+            artifact[f"{name}/{deployment}"] = {
+                **{
+                    k: (None if isinstance(v, float) and math.isnan(v) else v)
+                    for k, v in report.summary().items()
+                },
+                "digest": report.digest(),
+            }
+
+    print()
+    print(
+        format_table(
+            [
+                "scenario",
+                "deployment",
+                "availability",
+                "p95 (s)",
+                "goodput (r/s)",
+                "retries",
+                "cost/req (µ$)",
+            ],
+            rows,
+            title=(
+                "SCEN resilience sweep: tiered (seq fast->slow @0.6) vs "
+                "OSFA, equal node budget"
+            ),
+            float_format=".3f",
+        )
+    )
+
+    # The headline resilience claim: the tiered deployment is never *less*
+    # available than OSFA across the canonical scenarios (its fast pool
+    # keeps answering confident requests when the accurate pool degrades),
+    # and on the healthy baseline both must answer everything.
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    for name in specs:
+        assert by_key[(name, "tiered")] >= by_key[(name, "osfa")] - 1e-9, name
+    assert by_key[("baseline", "tiered")] == 1.0
+    assert by_key[("baseline", "osfa")] == 1.0
+
+    save_artifact("bench_scenarios", {"smoke": SMOKE, "results": artifact})

@@ -1,0 +1,118 @@
+"""Advisory perf-regression comparison for BENCH_PERF.json.
+
+Compares the timing sections of a freshly produced ``bench_perf`` artefact
+against the committed baseline at the repo root and prints the relative
+deltas.  Timings beyond the threshold (default ±5 %, the advisory noise
+band the delta-rs benchmarking ADR recommends for shared runners) are
+flagged as ``ADVISORY`` lines.
+
+The comparison is **advisory by design**: shared CI runners time small
+workloads noisily, so the exit code is always 0 unless ``--strict`` is
+given.  The committed ``BENCH_PERF.json`` (full-repetition numbers from a
+quiet machine) remains the perf trajectory of record; this script exists
+so a perf regression shows up in the CI log of the PR that caused it, not
+three PRs later.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf.py -q -s  # fresh run
+    python benchmarks/compare_perf.py BENCH_PERF.json results/bench_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (section, metric) pairs compared, with direction: +1 means larger is
+#: better (throughput), -1 means smaller is better (wall time).
+METRICS = (
+    ("rule_generator", "trials_per_s", +1),
+    ("policy_evaluation", "rows_per_s", +1),
+    ("serving_simulator", "requests_per_s", +1),
+)
+
+
+def compare(baseline: dict, fresh: dict, threshold: float):
+    """Yield ``(label, old, new, delta, flagged)`` rows for known metrics."""
+    for section, metric, direction in METRICS:
+        old_section = baseline.get(section, {})
+        new_section = fresh.get(section, {})
+        old = old_section.get(metric)
+        new = new_section.get(metric)
+        if old is None or new is None or not old:
+            continue
+        if isinstance(old, dict) or isinstance(new, dict):
+            # per-engine breakdowns: compare matching keys
+            for key in sorted(set(old) & set(new)):
+                if not old[key]:
+                    continue
+                delta = (new[key] - old[key]) / old[key]
+                flagged = direction * delta < -threshold
+                yield f"{section}.{metric}.{key}", old[key], new[key], delta, flagged
+            continue
+        delta = (new - old) / old
+        flagged = direction * delta < -threshold
+        yield f"{section}.{metric}", old, new, delta, flagged
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_PERF.json")
+    parser.add_argument("fresh", type=Path, help="freshly produced artefact")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="advisory regression threshold as a fraction (default 0.05)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any metric regresses past the threshold",
+    )
+    args = parser.parse_args(argv)
+
+    for path in (args.baseline, args.fresh):
+        if not path.exists():
+            print(f"compare_perf: {path} not found; nothing to compare")
+            return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    if fresh.get("rule_generator", {}).get("smoke") or any(
+        fresh.get(s, {}).get("smoke") for s, _, _ in METRICS
+    ):
+        print(
+            "compare_perf: fresh artefact is a smoke run — deltas are "
+            "advisory noise estimates, not trajectory numbers"
+        )
+
+    flagged_any = False
+    rows = list(compare(baseline, fresh, args.threshold))
+    if not rows:
+        print("compare_perf: no comparable metrics found")
+        return 0
+    width = max(len(label) for label, *_ in rows)
+    for label, old, new, delta, flagged in rows:
+        marker = "ADVISORY regression" if flagged else "ok"
+        flagged_any = flagged_any or flagged
+        print(
+            f"{label:<{width}}  {old:>14,.1f} -> {new:>14,.1f}  "
+            f"({delta:+7.1%})  {marker}"
+        )
+    if flagged_any:
+        print(
+            f"\ncompare_perf: at least one metric regressed past "
+            f"±{args.threshold:.0%} — advisory only; investigate before "
+            "trusting the committed baseline"
+        )
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

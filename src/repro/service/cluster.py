@@ -96,6 +96,12 @@ class ClusterDeployment:
         self._retired_iaas: Dict[str, float] = {
             name: 0.0 for name in self._pool_specs
         }
+        # Busy node-seconds of retired (scaled-down or crashed) nodes, so
+        # billed work can be reconciled against total machine time even
+        # after the machines that did it left the pool.
+        self._retired_busy: Dict[str, float] = {
+            name: 0.0 for name in self._pool_specs
+        }
         self.pricing = PricingModel(
             {name: spec.instance_type for name, spec in self._pool_specs.items()},
             per_request_fee=per_request_fee,
@@ -263,7 +269,28 @@ class ClusterDeployment:
         )
         if node is not None:
             self._retired_iaas[version] += node.accumulated_cost
+            self._retired_busy[version] += node.busy_seconds
         return node
+
+    def kill_node(self, version: str, node: ServiceNode, *, now: float):
+        """Crash a specific node: the fault-injection actuation path.
+
+        The node is marked dead with its in-progress work truncated at
+        ``now`` (see :meth:`~repro.service.node.ServiceNode.kill` — the
+        caller aborts the running batch itself, since it owns the
+        completion events), evicted from the pool, and its spend and busy
+        time are moved to the retired books.
+
+        Returns:
+            The queued (not yet started) requests the dead node was
+            holding; the caller must requeue them onto survivors.
+        """
+        items = self.load_balancer.evict_node(version, node)
+        if node.alive:
+            node.kill(now=now)
+        self._retired_iaas[version] += node.accumulated_cost
+        self._retired_busy[version] += node.busy_seconds
+        return items
 
     def raw_dispatch(
         self, version: str, request: ServiceRequest
@@ -279,6 +306,19 @@ class ClusterDeployment:
     def cost_of(self, node_seconds_by_version: Mapping[str, float]) -> CostBreakdown:
         """Price an arbitrary bundle of node-seconds on this deployment."""
         return self.pricing.request_cost(node_seconds_by_version)
+
+    def total_busy_seconds(self) -> Dict[str, float]:
+        """Busy node-seconds per version, including retired nodes.
+
+        This is the reconciliation-side of the books: every node-second a
+        request was ever billed for must have been worked *somewhere*, and
+        scale-down or a crash must not make that work disappear.
+        """
+        live = self.load_balancer.total_busy_seconds()
+        return {
+            name: self._retired_busy[name] + seconds
+            for name, seconds in live.items()
+        }
 
     def iaas_spend(self) -> Dict[str, float]:
         """Accumulated IaaS cost per version since deployment (or reset).
@@ -299,5 +339,6 @@ class ClusterDeployment:
         """Zero all per-node accounting counters and retired-node spend."""
         for name in self.load_balancer.versions:
             self._retired_iaas[name] = 0.0
+            self._retired_busy[name] = 0.0
             for node in self.load_balancer.nodes_of(name):
                 node.reset_accounting()

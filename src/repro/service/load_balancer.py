@@ -13,7 +13,11 @@ balancer exposes the queueing interface the discrete-event engine in
 enqueues onto a selected node's FIFO queue and :meth:`LoadBalancer.drain`
 executes all queued work — plus pool mutation (:meth:`LoadBalancer.add_node`
 / :meth:`LoadBalancer.remove_node`) so an autoscaler can grow and shrink
-pools while requests are in flight.
+pools while requests are in flight.  Fault injection adds the crash path:
+:meth:`LoadBalancer.evict_node` forcibly removes a specific (dead) node and
+hands its queued work back to the caller, and node selection skips nodes
+whose :attr:`~repro.service.node.ServiceNode.alive` flag has dropped, so
+traffic never routes onto a corpse.
 """
 
 from __future__ import annotations
@@ -213,12 +217,52 @@ class LoadBalancer:
                 self._policy.select(version, pool).requeue(item)
         return node
 
+    def evict_node(self, version: str, node: ServiceNode) -> List["QueuedRequest"]:
+        """Forcibly remove a *specific* node (the crash path).
+
+        Unlike :meth:`remove_node` this ignores idleness, may leave the
+        pool empty (a whole pool can die; routing to it then raises until
+        capacity recovers), and does *not* redistribute the victim's
+        queued work — the queued items are returned so the caller (the
+        simulation engine) can requeue them with its own bookkeeping.
+
+        Raises:
+            ValueError: If ``node`` is not in ``version``'s pool.
+        """
+        pool = self._require_pool(version)
+        try:
+            pool.remove(node)
+        except ValueError:
+            raise ValueError(
+                f"node {node.node_id} is not in version {version!r}'s pool"
+            ) from None
+        self._reset_policy(version)
+        return node.pop_batch(node.queue_depth) if node.queue_depth else []
+
     # ------------------------------------------------------------------
     # queueing interface
     # ------------------------------------------------------------------
     def select_node(self, version: str) -> ServiceNode:
-        """Pick the node the selection policy would route to next."""
-        return self._policy.select(version, self._require_pool(version))
+        """Pick the node the selection policy would route to next.
+
+        Dead nodes never receive traffic: crashed nodes normally leave the
+        pool via :meth:`evict_node`, but the selection also filters on
+        :attr:`~repro.service.node.ServiceNode.alive` as a second line of
+        defence, so a stale pool reference cannot route onto a corpse.
+
+        Raises:
+            ValueError: If the pool has no live node (the policies raise
+                on an empty candidate list).
+        """
+        pool = self._require_pool(version)
+        live = [node for node in pool if node.alive]
+        if len(live) != len(pool):
+            return self._policy.select(version, live)
+        return self._policy.select(version, pool)
+
+    def live_pool_size(self, version: str) -> int:
+        """Number of live (routable) nodes serving ``version``."""
+        return sum(1 for node in self._require_pool(version) if node.alive)
 
     def submit(
         self, version: str, request_id: str, payload: Any, *, now: float = 0.0

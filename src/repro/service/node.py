@@ -170,12 +170,62 @@ class ServiceNode:
         self._queue: Deque[QueuedRequest] = deque()
         #: Virtual time at which the node finishes its current work.
         self.busy_until = 0.0
+        #: False once the node has crashed; a dead node must not be routed
+        #: to (the load balancer filters it out) or execute work.
+        self.alive = True
+        #: Fault-injection multiplier on the node's effective speed; a
+        #: straggler runs with ``speed_scale < 1``.
+        self._speed_scale = 1.0
+
+    # ------------------------------------------------------------------
+    # health and degradation (fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def speed_scale(self) -> float:
+        """Current fault-injection multiplier on the node's speed."""
+        return self._speed_scale
+
+    def set_speed_scale(self, scale: float) -> None:
+        """Degrade (or restore) the node's speed by a multiplier.
+
+        Applies to batches started afterwards; a batch already running
+        keeps its finish time.
+        """
+        if scale <= 0.0:
+            raise ValueError("speed scale must be positive")
+        self._speed_scale = scale
+
+    @property
+    def effective_speed_factor(self) -> float:
+        """Instance speed factor degraded by the current slowdown."""
+        return self.instance_type.speed_factor * self._speed_scale
+
+    def kill(self, *, now: float, aborted_requests: int = 0) -> None:
+        """Crash the node at virtual time ``now``.
+
+        Any work scheduled to finish after ``now`` is aborted: the busy
+        time not yet elapsed is refunded (the machine stops billing the
+        moment it dies) and the aborted requests leave the served counter.
+        The caller (the simulation engine) is responsible for re-driving
+        the aborted work elsewhere; a dead node refuses new work.
+        """
+        self.alive = False
+        if self.busy_until > now:
+            self._busy_seconds -= self.busy_until - now
+            self.busy_until = now
+        self._requests_served -= aborted_requests
 
     # ------------------------------------------------------------------
     # queueing interface (consumed by the replay path and the simulator)
     # ------------------------------------------------------------------
     def submit(self, request_id: str, payload: Any, *, now: float = 0.0) -> None:
-        """Enqueue one request on the node's FIFO queue."""
+        """Enqueue one request on the node's FIFO queue.
+
+        Raises:
+            RuntimeError: If the node has crashed.
+        """
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id} is dead")
         self._queue.append(QueuedRequest(request_id, payload, enqueued_at=now))
 
     @property
@@ -248,11 +298,13 @@ class ServiceNode:
         """
         if not batch:
             raise ValueError("cannot execute an empty batch")
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id} is dead")
         results = [
             self.version.handle(item.request_id, item.payload) for item in batch
         ]
         solo_times = [
-            result.compute_seconds / self.instance_type.speed_factor
+            result.compute_seconds / self.effective_speed_factor
             for result in results
         ]
         if batching is not None and len(batch) > 1:

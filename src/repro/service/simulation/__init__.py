@@ -4,27 +4,38 @@ The replay path (:mod:`repro.core.simulator`) answers "what would this
 configuration have served per request"; this package answers the paper's
 *service* question — what do the Tolerance Tiers policies do to tail
 latency and cost when requests queue, batch and contend for a finite pool
-of nodes:
+of nodes, and what happens when that pool degrades:
 
 * :mod:`repro.service.simulation.events` -- the virtual-clock event loop.
-* :mod:`repro.service.simulation.arrivals` -- Poisson, bursty and
-  trace-driven arrival processes.
+* :mod:`repro.service.simulation.arrivals` -- Poisson, bursty, diurnal,
+  spike and trace-driven arrival processes.
 * :mod:`repro.service.simulation.batching` -- node-level request batching
   with a sublinear batch latency model.
 * :mod:`repro.service.simulation.autoscaler` -- queue-depth and
-  utilization triggered pool autoscaling.
+  utilization triggered pool autoscaling (plus dead-pool replacement).
+* :mod:`repro.service.simulation.faults` -- declarative fault injection:
+  node crash/recovery, stragglers, transient-failure windows, and the
+  retry policy that re-drives failed attempts.
+* :mod:`repro.service.simulation.scenarios` -- :class:`ScenarioSpec`, the
+  declarative composition of arrivals + tier mix + autoscaling + faults,
+  with six canonical degraded-mode scenarios.
+* :mod:`repro.service.simulation.invariants` -- opt-in conservation-law
+  checking (request/attempt conservation, billing reconciliation).
 * :mod:`repro.service.simulation.replay` -- measurement-backed service
   versions, so simulated service times come from measured latencies.
 * :mod:`repro.service.simulation.engine` -- the discrete-event engine
   tying it together over a :class:`~repro.service.cluster.ClusterDeployment`.
 * :mod:`repro.service.simulation.report` -- per-request records and
-  p50/p95/p99 aggregates.
+  p50/p95/p99 aggregates, availability/goodput/retry counters, and the
+  deterministic report digest the golden-trace tests pin.
 """
 
 from repro.service.simulation.arrivals import (
     ArrivalProcess,
     BurstyArrivals,
+    DiurnalArrivals,
     PoissonArrivals,
+    SpikeArrivals,
     TraceArrivals,
 )
 from repro.service.simulation.autoscaler import (
@@ -35,12 +46,30 @@ from repro.service.simulation.autoscaler import (
 from repro.service.simulation.batching import BatchingConfig
 from repro.service.simulation.engine import ServingSimulator
 from repro.service.simulation.events import Event, EventLoop
+from repro.service.simulation.faults import (
+    FaultLogEntry,
+    NodeCrash,
+    NodeSlowdown,
+    RetryPolicy,
+    TransientFaults,
+)
+from repro.service.simulation.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+)
 from repro.service.simulation.replay import (
     MeasurementReplayVersion,
     build_replay_cluster,
     replay_pools,
 )
 from repro.service.simulation.report import LoadTestReport, RequestRecord
+from repro.service.simulation.scenarios import (
+    ScenarioSpec,
+    canonical_scenarios,
+    osfa_configuration,
+    run_scenario,
+    scenario_measurements,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -48,15 +77,29 @@ __all__ = [
     "AutoscalerConfig",
     "BatchingConfig",
     "BurstyArrivals",
+    "DiurnalArrivals",
     "Event",
     "EventLoop",
+    "FaultLogEntry",
+    "InvariantChecker",
+    "InvariantViolation",
     "LoadTestReport",
     "MeasurementReplayVersion",
+    "NodeCrash",
+    "NodeSlowdown",
     "PoissonArrivals",
     "RequestRecord",
+    "RetryPolicy",
     "ScalingEvent",
+    "ScenarioSpec",
     "ServingSimulator",
+    "SpikeArrivals",
     "TraceArrivals",
+    "TransientFaults",
     "build_replay_cluster",
+    "canonical_scenarios",
+    "osfa_configuration",
     "replay_pools",
+    "run_scenario",
+    "scenario_measurements",
 ]

@@ -3,9 +3,12 @@
 The serving simulator decouples *when* requests arrive from *what* they
 ask for.  This module provides the when: Poisson arrivals (the classic
 open-loop model), a two-state bursty process (calm/burst phases with
-different rates, an on/off MMPP), and trace-driven arrivals replaying
-recorded timestamps.  Every process emits absolute arrival times in
-seconds, sorted ascending, for a caller-supplied number of requests.
+different rates, an on/off MMPP), rate-varying processes for the
+fault-injection scenarios — a diurnal curve and a flash-crowd spike, both
+non-homogeneous Poisson processes sampled by thinning — and trace-driven
+arrivals replaying recorded timestamps.  Every process emits absolute
+arrival times in seconds, sorted ascending, for a caller-supplied number
+of requests.
 """
 
 from __future__ import annotations
@@ -17,7 +20,9 @@ import numpy as np
 __all__ = [
     "ArrivalProcess",
     "BurstyArrivals",
+    "DiurnalArrivals",
     "PoissonArrivals",
+    "SpikeArrivals",
     "TraceArrivals",
 ]
 
@@ -124,6 +129,148 @@ class BurstyArrivals:
         return (
             f"BurstyArrivals(base={self.base_rate:g}/s, "
             f"burst={self.burst_rate:g}/s)"
+        )
+
+
+def _thinned_poisson_times(
+    n_requests: int,
+    rng: np.random.Generator,
+    max_rate: float,
+    rate_at,
+) -> np.ndarray:
+    """Sample a non-homogeneous Poisson process by thinning.
+
+    Candidate arrivals are drawn from a homogeneous process at
+    ``max_rate`` and accepted with probability ``rate_at(t) / max_rate``
+    — the classic Lewis–Shedler construction.  Draw order is fixed (one
+    exponential gap plus one uniform per candidate), so a fixed RNG state
+    always yields the same arrival times.
+    """
+    arrivals = np.empty(n_requests, dtype=float)
+    count = 0
+    t = 0.0
+    while count < n_requests:
+        t += rng.exponential(1.0 / max_rate)
+        if rng.uniform() * max_rate <= rate_at(t):
+            arrivals[count] = t
+            count += 1
+    return arrivals
+
+
+class DiurnalArrivals:
+    """Sinusoidal-rate arrivals: the classic day/night traffic curve.
+
+    The instantaneous rate is
+
+        ``rate(t) = base_rate * (1 + amplitude * sin(2 pi t / period_s + phase))``
+
+    so traffic swings between ``base_rate * (1 - amplitude)`` and
+    ``base_rate * (1 + amplitude)`` over one period.  Useful for
+    autoscaler scenarios where capacity must track a slow, predictable
+    wave rather than a spike.
+
+    Args:
+        base_rate: Mean arrival rate in requests per second.
+        amplitude: Relative swing of the curve, in ``[0, 1)``.
+        period_s: Length of one full day/night cycle in virtual seconds.
+        phase: Phase offset in radians (``0`` starts at the mean rate,
+            rising).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        *,
+        amplitude: float = 0.5,
+        period_s: float = 60.0,
+        phase: float = 0.0,
+    ) -> None:
+        if base_rate <= 0.0:
+            raise ValueError("base_rate must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period_s <= 0.0:
+            raise ValueError("period_s must be positive")
+        self.base_rate = base_rate
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self.phase = phase
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t``."""
+        angle = 2.0 * np.pi * t / self.period_s + self.phase
+        return self.base_rate * (1.0 + self.amplitude * float(np.sin(angle)))
+
+    def times(self, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+        _require_positive_count(n_requests)
+        max_rate = self.base_rate * (1.0 + self.amplitude)
+        return _thinned_poisson_times(n_requests, rng, max_rate, self.rate_at)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalArrivals(base={self.base_rate:g}/s, "
+            f"amplitude={self.amplitude:g}, period={self.period_s:g}s)"
+        )
+
+
+class SpikeArrivals:
+    """A flash crowd: steady traffic with a multiplicative spike window.
+
+    Outside the window arrivals are Poisson at ``base_rate``; inside
+    ``[spike_start_s, spike_start_s + spike_duration_s)`` the rate jumps
+    to ``base_rate * spike_multiplier``.  This is the canonical
+    "retweeted by someone famous" scenario for resilience testing: the
+    interesting question is what the tail and the autoscaler do during
+    and just after the step.
+
+    Args:
+        base_rate: Requests per second outside the spike.
+        spike_start_s: Virtual time the spike begins.
+        spike_duration_s: Length of the spike window.
+        spike_multiplier: Rate multiplier during the spike (must exceed 1).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        *,
+        spike_start_s: float,
+        spike_duration_s: float,
+        spike_multiplier: float = 5.0,
+    ) -> None:
+        if base_rate <= 0.0:
+            raise ValueError("base_rate must be positive")
+        if spike_start_s < 0.0:
+            raise ValueError("spike_start_s must be non-negative")
+        if spike_duration_s <= 0.0:
+            raise ValueError("spike_duration_s must be positive")
+        if spike_multiplier <= 1.0:
+            raise ValueError("spike_multiplier must exceed 1")
+        self.base_rate = base_rate
+        self.spike_start_s = spike_start_s
+        self.spike_duration_s = spike_duration_s
+        self.spike_multiplier = spike_multiplier
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t``."""
+        in_spike = (
+            self.spike_start_s
+            <= t
+            < self.spike_start_s + self.spike_duration_s
+        )
+        return self.base_rate * (self.spike_multiplier if in_spike else 1.0)
+
+    def times(self, n_requests: int, rng: np.random.Generator) -> np.ndarray:
+        _require_positive_count(n_requests)
+        max_rate = self.base_rate * self.spike_multiplier
+        return _thinned_poisson_times(n_requests, rng, max_rate, self.rate_at)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpikeArrivals(base={self.base_rate:g}/s, "
+            f"x{self.spike_multiplier:g} at "
+            f"[{self.spike_start_s:g}, "
+            f"{self.spike_start_s + self.spike_duration_s:g}]s)"
         )
 
 

@@ -72,8 +72,8 @@ class ScalingEvent:
         version: Pool that scaled.
         old_size: Node count before.
         new_size: Node count after.
-        reason: Which trigger fired (``"queue-depth"``, ``"utilization"``
-            or ``"idle"``).
+        reason: Which trigger fired (``"queue-depth"``, ``"utilization"``,
+            ``"dead-pool"`` or ``"idle"``).
     """
 
     time_s: float
@@ -119,6 +119,13 @@ class Autoscaler:
         actuates the change and must call :meth:`record` if it did.
         """
         cfg = self.config
+        if n_nodes == 0:
+            # Fault injection can kill a whole pool.  A dead pool with
+            # waiting work is replaced unconditionally — neither a backlog
+            # threshold nor the cooldown should keep a service at zero
+            # capacity (the cooldown exists to damp flapping, and a pool
+            # at zero with queued work is not flapping, it is down).
+            return 1 if queue_depth > 0 else 0
         last = self._last_action_at.get(version)
         if last is not None and now - last < cfg.cooldown_s:
             return 0
@@ -141,6 +148,8 @@ class Autoscaler:
     ) -> str:
         """Human-readable trigger name for a non-zero decision."""
         if delta > 0:
+            if n_nodes == 0:
+                return "dead-pool"
             backlog = queue_depth / max(n_nodes, 1)
             if backlog >= self.config.scale_up_queue_depth:
                 return "queue-depth"

@@ -24,8 +24,36 @@ Ensemble semantics under the virtual clock mirror the replay policies in
   cost), while a job that already started runs on, its billed node-seconds
   capped at the fast job's solo service time (the replay model's bound).
 
+Degraded-mode scenarios inject a timed fault schedule
+(:mod:`repro.service.simulation.faults`) on the same clock:
+
+* a **node crash** evicts the node, migrates its queued work onto
+  surviving nodes (same attempt — the job never started), aborts its
+  running batch (those attempts failed; the machine time until the crash
+  stays on the IaaS books) and optionally schedules a replacement node;
+* a **straggler** degrades one node's effective speed for a window;
+* a **transient-fault window** makes completions fail with a fixed
+  probability, drawn from a dedicated fault RNG.
+
+Failed attempts are re-driven under a
+:class:`~repro.service.simulation.faults.RetryPolicy` (with backoff, onto
+live nodes only); once a leg's attempts are exhausted the request fails
+terminally — unless another leg can still answer: a confident fast result
+makes an accurate-leg loss harmless, and under ``conc``/``et`` a live
+accurate job answers for a dead fast leg (degraded fallback, billed
+accurate-only).  When a whole pool is dead, its jobs park in the engine
+until capacity returns (a recovery or an autoscaler scale-up); jobs still
+parked when the event loop drains resolve with a confident fast answer
+when one is in hand, and as failed requests otherwise.  A request that
+fails is not billed.
+
 The event loop is single-threaded and deterministic: same seed, same
-arrival process, same report.
+arrival process, same fault schedule, same report — fault-free runs
+consume exactly the random draws and fire exactly the events the PR 1
+engine did, so existing behaviour is bit-identical.  Pass
+``check_invariants=True`` to feed an
+:class:`~repro.service.simulation.invariants.InvariantChecker` ledger and
+reconcile it at drain time.
 """
 
 from __future__ import annotations
@@ -37,12 +65,21 @@ import numpy as np
 from repro.core.configuration import EnsembleConfiguration
 from repro.core.router import TierRouter
 from repro.service.cluster import ClusterDeployment
-from repro.service.node import NodeCompletion, ServiceNode
+from repro.service.node import NodeCompletion, QueuedRequest, ServiceNode
 from repro.service.request import Objective, ServiceRequest
 from repro.service.simulation.arrivals import ArrivalProcess
 from repro.service.simulation.autoscaler import Autoscaler
 from repro.service.simulation.batching import BatchingConfig
 from repro.service.simulation.events import Event, EventLoop
+from repro.service.simulation.faults import (
+    FaultEvent,
+    FaultLogEntry,
+    NodeCrash,
+    NodeSlowdown,
+    RetryPolicy,
+    TransientFaults,
+)
+from repro.service.simulation.invariants import InvariantChecker
 from repro.service.simulation.report import LoadTestReport, RequestRecord
 
 __all__ = ["ServingSimulator"]
@@ -64,9 +101,16 @@ class _InFlight:
         "fast_completion",
         "accurate_completion",
         "escalated",
+        "fast_failed",
+        "accurate_failed",
+        "fast_node",
         "accurate_node",
         "accurate_enqueued",
         "accurate_cancelled",
+        "attempts",
+        "leg_open",
+        "retry_pending",
+        "retries",
     )
 
     def __init__(
@@ -87,9 +131,54 @@ class _InFlight:
         self.fast_completion: Optional[NodeCompletion] = None
         self.accurate_completion: Optional[NodeCompletion] = None
         self.escalated: Optional[bool] = None
+        #: True once the fast leg failed terminally but the accurate leg
+        #: can still answer (conc/et degraded fallback).
+        self.fast_failed = False
+        #: True once the accurate leg failed terminally while the fast
+        #: job was still in flight; the fast confidence gate decides the
+        #: outcome when it lands.
+        self.accurate_failed = False
+        self.fast_node: Optional[ServiceNode] = None
         self.accurate_node: Optional[ServiceNode] = None
         self.accurate_enqueued = False
         self.accurate_cancelled = False
+        #: Job attempts started so far, per version leg.
+        self.attempts: Dict[str, int] = {}
+        #: Whether the leg currently has an attempt in flight (enqueued,
+        #: parked or running) that has not been closed yet.
+        self.leg_open: Dict[str, bool] = {}
+        #: Whether a retry for the leg is waiting out its backoff.  A leg
+        #: in backoff has no open attempt but is still viable — it must
+        #: not be mistaken for a dead leg, and early termination can
+        #: cancel the pending retry outright.
+        self.retry_pending: Dict[str, bool] = {}
+        #: Attempts re-driven after a failure (for the request record).
+        self.retries = 0
+
+    def leg_viable(self, version: str) -> bool:
+        """Whether the leg can still produce a result (open or retrying)."""
+        return bool(
+            self.leg_open.get(version, False)
+            or self.retry_pending.get(version, False)
+        )
+
+
+class _RunningBatch:
+    """One batch executing on a node, abortable by a crash."""
+
+    __slots__ = ("node", "event", "items", "completions")
+
+    def __init__(
+        self,
+        node: ServiceNode,
+        event: Event,
+        items: List[QueuedRequest],
+        completions: List[NodeCompletion],
+    ) -> None:
+        self.node = node
+        self.event = event
+        self.items = items
+        self.completions = completions
 
 
 class ServingSimulator:
@@ -112,7 +201,20 @@ class ServingSimulator:
         batching: Node-level batching policy; default is unbatched.
         autoscaler: Optional pool autoscaler, evaluated on its configured
             cadence while traffic is in flight.
-        seed: Seed for arrival sampling and payload choice.
+        faults: Timed fault schedule
+            (:class:`~repro.service.simulation.faults.NodeCrash` /
+            :class:`~repro.service.simulation.faults.NodeSlowdown` /
+            :class:`~repro.service.simulation.faults.TransientFaults`)
+            injected on the virtual clock; empty for a healthy run.
+        retry: How failed job attempts are re-driven; the default retries
+            nothing (one attempt per leg).
+        check_invariants: When true, feed an
+            :class:`~repro.service.simulation.invariants.InvariantChecker`
+            and verify its ledger at drain time.  Pure bookkeeping — the
+            simulated behaviour (and report digest) is unchanged.
+        seed: Seed for arrival sampling and payload choice (transient
+            fault draws use a generator derived from it, so healthy and
+            faulty runs see identical arrivals).
     """
 
     def __init__(
@@ -123,6 +225,9 @@ class ServingSimulator:
         configuration: Optional[EnsembleConfiguration] = None,
         batching: Optional[BatchingConfig] = None,
         autoscaler: Optional[Autoscaler] = None,
+        faults: Sequence[FaultEvent] = (),
+        retry: Optional[RetryPolicy] = None,
+        check_invariants: bool = False,
         seed: int = 0,
     ) -> None:
         if (router is None) == (configuration is None):
@@ -160,10 +265,41 @@ class ServingSimulator:
         self._inflight: Dict[str, _InFlight] = {}
         self._records: List[RequestRecord] = []
         self._flush_events: Dict[str, Event] = {}
+        self._running: Dict[str, _RunningBatch] = {}
+        self._parked: Dict[str, List[QueuedRequest]] = {}
         self._remaining = 0
         self._counter = 0
         self._tick_scheduled = False
         self._drained = False
+        self._retry = retry or RetryPolicy()
+        self._faults = tuple(faults)
+        self._fault_log: List[FaultLogEntry] = []
+        self._check = InvariantChecker() if check_invariants else None
+        known = set(cluster.load_balancer.versions)
+        for fault in self._faults:
+            targets = (
+                fault.versions or ()
+                if isinstance(fault, TransientFaults)
+                else (fault.version,)
+            )
+            unknown = set(targets) - known
+            if unknown:
+                raise ValueError(
+                    f"fault {fault!r} targets unknown version(s) "
+                    f"{sorted(unknown)}; deployed versions are {sorted(known)}"
+                )
+        self._transient_windows = [
+            fault for fault in self._faults
+            if isinstance(fault, TransientFaults)
+        ]
+        # A dedicated generator keeps fault draws out of the arrival
+        # stream: a fault-free run consumes exactly the PR 1 draws.
+        self._fault_rng = (
+            np.random.default_rng([seed, 0xFA117])
+            if self._transient_windows
+            else None
+        )
+        self._schedule_faults()
 
     # ------------------------------------------------------------------
     # submission
@@ -234,7 +370,12 @@ class ServingSimulator:
     # draining
     # ------------------------------------------------------------------
     def drain(self) -> LoadTestReport:
-        """Run the event loop until every submitted request has responded."""
+        """Run the event loop until every submitted request has resolved.
+
+        A request resolves by completing or by failing terminally; jobs
+        still parked behind dead pools when the loop empties resolve as
+        failed requests (capacity never came back for them).
+        """
         if self._autoscaler is not None and not self._tick_scheduled:
             self._tick_scheduled = True
             self._loop.schedule(
@@ -244,17 +385,45 @@ class ServingSimulator:
             )
         self._loop.run(max_events=_MAX_EVENTS)
         self._drained = True
+        if self._remaining and self._inflight and self._faults:
+            # At loop-empty every queued job has executed and every retry
+            # has fired, so what remains is parked behind pools whose
+            # capacity never recovered.  A request that already holds a
+            # confident fast answer responds with it (the parked accurate
+            # leg was only ever a cost commitment); everything else
+            # resolves as failed.
+            for state in list(self._inflight.values()):
+                if state.escalated is False and state.fast_completion is not None:
+                    self._abandon_outstanding(
+                        state, exclude_version=None, outcome="unserved"
+                    )
+                    fast = state.fast_completion
+                    self._finalize(
+                        state,
+                        end=fast.finished_at,
+                        node_seconds={
+                            state.fast_version: fast.amortized_seconds
+                        },
+                    )
+                else:
+                    self._finalize_failed(
+                        state, end=self._loop.now, outcome="unserved"
+                    )
         if self._remaining:
             raise RuntimeError(
                 f"event loop drained with {self._remaining} requests unresolved"
             )
-        return LoadTestReport(
+        report = LoadTestReport(
             records=list(self._records),
             scaling_events=list(self._autoscaler.events)
             if self._autoscaler is not None
             else [],
             final_pool_sizes=self.cluster.pool_sizes(),
+            fault_log=list(self._fault_log),
         )
+        if self._check is not None:
+            self._check.verify(report, self.cluster, self._retry)
+        return report
 
     @property
     def now(self) -> float:
@@ -275,13 +444,42 @@ class ServingSimulator:
         if request.request_id in self._inflight:
             raise ValueError(f"duplicate request id {request.request_id!r}")
         self._inflight[request.request_id] = state
-        self._enqueue(state, state.fast_version)
+        if self._check is not None:
+            self._check.on_arrival(request.request_id, self._loop.now)
+        state.fast_node = self._enqueue_attempt(state, state.fast_version)
         if state.kind in ("conc", "et"):
-            state.accurate_node = self._enqueue(state, state.accurate_version)
+            state.accurate_node = self._enqueue_attempt(
+                state, state.accurate_version
+            )
             state.accurate_enqueued = True
 
-    def _enqueue(self, state: _InFlight, version: str) -> ServiceNode:
-        node = self.cluster.submit(version, state.request, now=self._loop.now)
+    def _enqueue_attempt(
+        self, state: _InFlight, version: str
+    ) -> Optional[ServiceNode]:
+        """Start one job attempt: enqueue on a live node, or park.
+
+        Returns the node chosen, or ``None`` when the version's pool has
+        no live node and the job parked in the engine until capacity
+        returns.
+        """
+        now = self._loop.now
+        attempt = state.attempts.get(version, 0) + 1
+        state.attempts[version] = attempt
+        state.leg_open[version] = True
+        if self._check is not None:
+            self._check.on_attempt_started(
+                state.request.request_id, version, attempt, now
+            )
+        if self.cluster.load_balancer.live_pool_size(version) == 0:
+            self._parked.setdefault(version, []).append(
+                QueuedRequest(
+                    state.request.request_id,
+                    state.request.payload,
+                    enqueued_at=now,
+                )
+            )
+            return None
+        node = self.cluster.submit(version, state.request, now=now)
         self._maybe_start(node)
         return node
 
@@ -318,26 +516,53 @@ class ServingSimulator:
         completions = node.execute_batch(
             batch, now=self._loop.now, batching=self._batching
         )
-        self._loop.schedule_at(
+        event = self._loop.schedule_at(
             completions[0].finished_at,
             lambda n=node, c=completions: self._on_batch_done(n, c),
             kind="batch-done",
+        )
+        self._running[node.node_id] = _RunningBatch(
+            node, event, batch, completions
         )
 
     def _on_batch_done(
         self, node: ServiceNode, completions: List[NodeCompletion]
     ) -> None:
+        self._running.pop(node.node_id, None)
         for completion in completions:
             self._on_job_done(completion)
         self._maybe_start(node)
 
     def _on_job_done(self, completion: NodeCompletion) -> None:
-        state = self._inflight.get(completion.result.request_id)
+        request_id = completion.result.request_id
+        version = completion.result.version
+        state = self._inflight.get(request_id)
         if state is None:
+            # The request already resolved (an early-terminated accurate
+            # job running on, or cleanup after a terminal failure).
+            if self._check is not None:
+                self._check.on_orphan_finished(
+                    request_id, version, completion.finished_at
+                )
             return
+        if self._completion_eaten_by_fault(version, completion.finished_at):
+            self._attempt_failed(
+                state, version, now=self._loop.now, reason="transient"
+            )
+            return
+        state.leg_open[version] = False
+        if self._check is not None:
+            self._check.on_attempt_finished(
+                request_id,
+                version,
+                state.attempts.get(version, 0),
+                completion.finished_at,
+                "ok",
+                seconds=completion.amortized_seconds,
+            )
         if (
             state.accurate_version is not None
-            and completion.result.version == state.accurate_version
+            and version == state.accurate_version
         ):
             state.accurate_completion = completion
         else:
@@ -345,10 +570,422 @@ class ServingSimulator:
         self._advance(state)
 
     # ------------------------------------------------------------------
+    # fault schedule
+    # ------------------------------------------------------------------
+    def _schedule_faults(self) -> None:
+        for fault in self._faults:
+            if isinstance(fault, NodeCrash):
+                self._loop.schedule_at(
+                    fault.at_s,
+                    lambda f=fault: self._on_node_crash(f),
+                    kind="fault-crash",
+                )
+            elif isinstance(fault, NodeSlowdown):
+                self._loop.schedule_at(
+                    fault.at_s,
+                    lambda f=fault: self._on_slowdown(f),
+                    kind="fault-slowdown",
+                )
+            else:
+                self._loop.schedule_at(
+                    fault.start_s,
+                    lambda f=fault: self._on_transient_window(f),
+                    kind="fault-window",
+                )
+
+    def _on_transient_window(self, fault: TransientFaults) -> None:
+        self._fault_log.append(
+            FaultLogEntry(
+                self._loop.now,
+                "transient-window",
+                ",".join(fault.versions) if fault.versions else "*",
+                None,
+                f"p={fault.failure_probability:g} until t={fault.end_s:g}",
+            )
+        )
+
+    def _completion_eaten_by_fault(self, version: str, t: float) -> bool:
+        """Whether an active transient-fault window eats this completion."""
+        for window in self._transient_windows:
+            if window.affects(version, t):
+                return bool(
+                    self._fault_rng.uniform() < window.failure_probability
+                )
+        return False
+
+    def _on_node_crash(self, fault: NodeCrash) -> None:
+        now = self._loop.now
+        balancer = self.cluster.load_balancer
+        pool = balancer.nodes_of(fault.version)
+        if fault.node_index >= len(pool):
+            self._fault_log.append(
+                FaultLogEntry(
+                    now,
+                    "skipped",
+                    fault.version,
+                    None,
+                    f"crash index {fault.node_index} out of range "
+                    f"(pool size {len(pool)})",
+                )
+            )
+            return
+        node = pool[fault.node_index]
+        pending = self._flush_events.pop(node.node_id, None)
+        if pending is not None:
+            pending.cancel()
+        running = self._running.pop(node.node_id, None)
+        aborted: List[QueuedRequest] = []
+        if running is not None:
+            running.event.cancel()
+            aborted = running.items
+            node.kill(now=now, aborted_requests=len(aborted))
+        queued = self.cluster.kill_node(fault.version, node, now=now)
+        # Reset the utilization baseline to the surviving membership's
+        # current busy sum.  Subtracting the victim's busy_seconds (the
+        # scale-down bookkeeping) would be wrong here: kill() refunded the
+        # unelapsed share of a pre-charged batch, but a tick between batch
+        # start and crash already counted the full wall, so the
+        # subtraction would leave phantom seconds in the baseline and the
+        # next tick would read a degraded pool as idle.  The reset means
+        # the next tick measures exactly the work charged since the crash.
+        self._last_busy[fault.version] = sum(
+            survivor.busy_seconds
+            for survivor in balancer.nodes_of(fault.version)
+        )
+        self._fault_log.append(
+            FaultLogEntry(
+                now,
+                "crash",
+                fault.version,
+                node.node_id,
+                f"pool index {fault.node_index}: {len(aborted)} running "
+                f"attempt(s) aborted, {len(queued)} queued migrated",
+            )
+        )
+        # Queued work never started: it migrates, same attempt.
+        for item in queued:
+            self._migrate_item(fault.version, item)
+        # Running work died mid-execution: those attempts failed.
+        for item in aborted:
+            state = self._inflight.get(item.request_id)
+            if state is None:
+                continue  # orphan job (already accounted as detached)
+            self._attempt_failed(
+                state, fault.version, now=now, reason="crash"
+            )
+        if fault.recover_at_s is not None:
+            self._loop.schedule_at(
+                fault.recover_at_s,
+                lambda f=fault: self._on_node_recover(f),
+                kind="fault-recover",
+            )
+
+    def _on_node_recover(self, fault: NodeCrash) -> None:
+        added = self.cluster.add_nodes(fault.version, 1)
+        self._fault_log.append(
+            FaultLogEntry(
+                self._loop.now,
+                "recover",
+                fault.version,
+                added[0].node_id,
+                "replacement node joined the pool",
+            )
+        )
+        self._on_capacity_added(fault.version)
+
+    def _on_slowdown(self, fault: NodeSlowdown) -> None:
+        now = self._loop.now
+        pool = self.cluster.load_balancer.nodes_of(fault.version)
+        if fault.node_index >= len(pool):
+            self._fault_log.append(
+                FaultLogEntry(
+                    now,
+                    "skipped",
+                    fault.version,
+                    None,
+                    f"slowdown index {fault.node_index} out of range "
+                    f"(pool size {len(pool)})",
+                )
+            )
+            return
+        node = pool[fault.node_index]
+        node.set_speed_scale(fault.speed_factor)
+        self._fault_log.append(
+            FaultLogEntry(
+                now,
+                "slowdown",
+                fault.version,
+                node.node_id,
+                f"pool index {fault.node_index}: speed x{fault.speed_factor:g}",
+            )
+        )
+        if fault.until_s is not None:
+            self._loop.schedule_at(
+                fault.until_s,
+                lambda f=fault, n=node: self._on_speed_restore(f, n),
+                kind="fault-restore",
+            )
+
+    def _on_speed_restore(self, fault: NodeSlowdown, node: ServiceNode) -> None:
+        if not node.alive:
+            return  # the straggler crashed before its recovery
+        node.set_speed_scale(1.0)
+        self._fault_log.append(
+            FaultLogEntry(
+                self._loop.now,
+                "restore",
+                fault.version,
+                node.node_id,
+                "speed restored to x1",
+            )
+        )
+
+    def _migrate_item(self, version: str, item: QueuedRequest) -> None:
+        """Re-place a crashed node's queued item, preserving its attempt."""
+        state = self._inflight.get(item.request_id)
+        if state is None:
+            return  # the request resolved; drop the stale job
+        balancer = self.cluster.load_balancer
+        if balancer.live_pool_size(version) == 0:
+            self._parked.setdefault(version, []).append(item)
+            self._note_leg_node(state, version, None)
+            return
+        node = balancer.select_node(version)
+        node.requeue(item)
+        self._note_leg_node(state, version, node)
+        # The migrated item may be older than the head that armed the
+        # node's flush deadline; re-arm from the current queue state.
+        pending = self._flush_events.pop(node.node_id, None)
+        if pending is not None:
+            pending.cancel()
+        self._maybe_start(node)
+
+    def _note_leg_node(
+        self, state: _InFlight, version: str, node: Optional[ServiceNode]
+    ) -> None:
+        if version == state.accurate_version:
+            state.accurate_node = node
+        else:
+            state.fast_node = node
+
+    def _on_capacity_added(self, version: str) -> None:
+        """Flush jobs parked behind a dead pool onto the new capacity."""
+        parked = self._parked.pop(version, None)
+        if not parked:
+            return
+        balancer = self.cluster.load_balancer
+        touched: Dict[str, ServiceNode] = {}
+        for item in parked:
+            state = self._inflight.get(item.request_id)
+            if state is None:
+                continue
+            node = balancer.select_node(version)
+            node.requeue(item)
+            self._note_leg_node(state, version, node)
+            touched[node.node_id] = node
+        for node in touched.values():
+            pending = self._flush_events.pop(node.node_id, None)
+            if pending is not None:
+                pending.cancel()
+            self._maybe_start(node)
+
+    # ------------------------------------------------------------------
+    # retries and terminal failure
+    # ------------------------------------------------------------------
+    def _attempt_failed(
+        self, state: _InFlight, version: str, *, now: float, reason: str
+    ) -> None:
+        request_id = state.request.request_id
+        attempt = state.attempts.get(version, 0)
+        state.leg_open[version] = False
+        if self._check is not None:
+            self._check.on_attempt_finished(
+                request_id, version, attempt, now, reason
+            )
+        if attempt < self._retry.max_attempts:
+            state.retry_pending[version] = True
+            delay = self._retry.delay_before_retry(attempt)
+            self._loop.schedule(
+                delay,
+                lambda r=request_id, v=version: self._on_retry(r, v),
+                kind="retry",
+            )
+            return
+        # Attempts exhausted.  A confident fast answer makes the loss of
+        # the accurate leg harmless (conc/et bill the fast result anyway),
+        # and symmetrically a lost fast leg is survivable while a
+        # concurrent accurate job can still deliver the answer; only when
+        # no leg can respond does the request fail.
+        if (
+            version == state.accurate_version
+            and state.fast_completion is not None
+            and state.escalated is False
+        ):
+            fast = state.fast_completion
+            self._finalize(
+                state,
+                end=fast.finished_at,
+                node_seconds={state.fast_version: fast.amortized_seconds},
+            )
+            return
+        if (
+            version == state.accurate_version
+            and state.kind in ("conc", "et")
+            and state.fast_completion is None
+            and state.leg_viable(state.fast_version)
+        ):
+            # The fast job is still in flight; its confidence gate decides
+            # the outcome once it lands (a confident fast answer makes the
+            # accurate loss harmless, an escalation fails).
+            state.accurate_failed = True
+            return
+        if (
+            version == state.fast_version
+            and state.kind in ("conc", "et")
+            and state.accurate_version is not None
+            and not state.accurate_cancelled
+            and (
+                state.accurate_completion is not None
+                or state.leg_viable(state.accurate_version)
+            )
+        ):
+            state.fast_failed = True
+            accurate = state.accurate_completion
+            if accurate is not None:
+                # The accurate result was already in hand, waiting for the
+                # fast confidence gate; respond with it at the moment the
+                # fast leg is known dead.
+                self._finalize_accurate_only(state, end=now)
+            return
+        self._finalize_failed(state, end=now, exclude_version=version)
+
+    def _on_retry(self, request_id: str, version: str) -> None:
+        state = self._inflight.get(request_id)
+        if state is None:
+            return  # the request resolved while the backoff ran
+        if not state.retry_pending.get(version, False):
+            return  # the retry was cancelled (early termination)
+        state.retry_pending[version] = False
+        # Counted when the attempt actually starts, so a backoff that
+        # never fires (request resolved first) is not reported as a retry.
+        state.retries += 1
+        node = self._enqueue_attempt(state, version)
+        self._note_leg_node(state, version, node)
+
+    def _finalize_failed(
+        self,
+        state: _InFlight,
+        *,
+        end: float,
+        exclude_version: Optional[str] = None,
+        outcome: str = "cancelled",
+    ) -> None:
+        """Resolve a request as terminally failed, cleaning up its legs."""
+        self._abandon_outstanding(
+            state, exclude_version=exclude_version, outcome=outcome
+        )
+        fast = state.fast_completion
+        self._records.append(
+            RequestRecord(
+                request_id=state.request.request_id,
+                payload=state.request.payload,
+                tier=state.request.tolerance,
+                arrival_s=state.arrival,
+                finished_s=end,
+                response_time_s=end - state.arrival,
+                queue_wait_s=(
+                    fast.started_at - state.arrival if fast is not None else 0.0
+                ),
+                versions_used=(),
+                escalated=bool(state.escalated),
+                invocation_cost=0.0,
+                node_seconds={},
+                failed=True,
+                retries=state.retries,
+            )
+        )
+        if self._check is not None:
+            self._check.on_finalized(
+                state.request.request_id, self._loop.now, failed=True
+            )
+        del self._inflight[state.request.request_id]
+        self._remaining -= 1
+
+    def _abandon_outstanding(
+        self,
+        state: _InFlight,
+        *,
+        exclude_version: Optional[str],
+        outcome: str,
+    ) -> None:
+        """Close every leg of a failing request that is still in flight.
+
+        Queued jobs are cancelled off their node, parked jobs are dropped
+        from the engine's holding pen, and running jobs are detached (the
+        batch finishes; the orphan completion is discarded).
+        """
+        request_id = state.request.request_id
+        legs = (
+            (state.fast_version, state.fast_node),
+            (state.accurate_version, state.accurate_node),
+        )
+        for version, node in legs:
+            if version is None or version == exclude_version:
+                continue
+            if not state.leg_open.get(version, False):
+                continue  # leg never started, or its attempt already closed
+            state.leg_open[version] = False
+            if (
+                node is not None
+                and node.alive
+                and self._cancel_queued_job(node, request_id)
+            ):
+                if self._check is not None:
+                    self._check.on_attempt_finished(
+                        request_id,
+                        version,
+                        state.attempts[version],
+                        self._loop.now,
+                        outcome,
+                    )
+                continue
+            if self._cancel_parked(version, request_id):
+                if self._check is not None:
+                    self._check.on_attempt_finished(
+                        request_id,
+                        version,
+                        state.attempts[version],
+                        self._loop.now,
+                        outcome,
+                    )
+            elif self._check is not None:
+                # Running somewhere: let the batch finish, discard the
+                # orphan result.
+                self._check.on_attempt_detached(request_id, version)
+
+    # ------------------------------------------------------------------
     # ensemble state machine
     # ------------------------------------------------------------------
+    def _finalize_accurate_only(self, state: _InFlight, *, end: float) -> None:
+        """Answer with the accurate result after the fast leg died."""
+        accurate = state.accurate_completion
+        self._finalize(
+            state,
+            end=max(end, accurate.finished_at),
+            node_seconds={
+                state.accurate_version: accurate.amortized_seconds
+            },
+            lead=accurate,
+        )
+
     def _advance(self, state: _InFlight) -> None:
         fast = state.fast_completion
+        if state.fast_failed:
+            # Degraded conc/et fallback: the fast leg is terminally gone;
+            # the accurate completion alone answers the request.
+            if state.accurate_completion is not None:
+                self._finalize_accurate_only(state, end=self._loop.now)
+            return
         if state.kind == "single":
             if fast is not None:
                 self._finalize(
@@ -378,7 +1015,9 @@ class ServingSimulator:
             )
         elif not state.accurate_enqueued:
             state.accurate_enqueued = True
-            state.accurate_node = self._enqueue(state, state.accurate_version)
+            state.accurate_node = self._enqueue_attempt(
+                state, state.accurate_version
+            )
         elif state.accurate_completion is not None:
             accurate = state.accurate_completion
             self._finalize(
@@ -393,6 +1032,18 @@ class ServingSimulator:
     def _advance_concurrent(self, state: _InFlight) -> None:
         fast = state.fast_completion
         accurate = state.accurate_completion
+        if state.accurate_failed and fast is not None:
+            # The accurate leg is terminally gone; the fast result alone
+            # decides: confident -> answer with it, escalated -> fail.
+            if state.escalated:
+                self._finalize_failed(state, end=self._loop.now)
+            else:
+                self._finalize(
+                    state,
+                    end=fast.finished_at,
+                    node_seconds={state.fast_version: fast.amortized_seconds},
+                )
+            return
         if fast is None:
             # The accurate job finished first; hold until the fast job's
             # confidence decides the outcome.
@@ -411,10 +1062,32 @@ class ServingSimulator:
             return
         # Fast result accepted: respond at the fast finish.
         if state.kind == "et" and accurate is None and not state.accurate_cancelled:
-            if self._cancel_queued_job(
-                state.accurate_node, state.request.request_id
+            accurate_version = state.accurate_version
+            request_id = state.request.request_id
+            # A not-yet-started accurate job is cancelled at no cost,
+            # wherever it is waiting: queued on a node, parked behind a
+            # dead pool, or a retry still in backoff.
+            cancelled_attempt = self._cancel_queued_job(
+                state.accurate_node, request_id
+            ) or self._cancel_parked(accurate_version, request_id)
+            cancelled_retry = False
+            if not cancelled_attempt and state.retry_pending.get(
+                accurate_version, False
             ):
+                state.retry_pending[accurate_version] = False
+                cancelled_retry = True
+            if cancelled_attempt or cancelled_retry:
                 state.accurate_cancelled = True
+                if cancelled_attempt:
+                    state.leg_open[accurate_version] = False
+                    if self._check is not None:
+                        self._check.on_attempt_finished(
+                            request_id,
+                            accurate_version,
+                            state.attempts.get(accurate_version, 0),
+                            self._loop.now,
+                            "cancelled",
+                        )
                 self._finalize(
                     state,
                     end=fast.finished_at,
@@ -436,6 +1109,17 @@ class ServingSimulator:
             },
         )
 
+    def _cancel_parked(self, version: str, request_id: str) -> bool:
+        """Drop a job waiting in the engine's dead-pool holding pen."""
+        parked = self._parked.get(version)
+        if not parked:
+            return False
+        for item in parked:
+            if item.request_id == request_id:
+                parked.remove(item)
+                return True
+        return False
+
     def _cancel_queued_job(
         self, node: Optional[ServiceNode], request_id: str
     ) -> bool:
@@ -456,9 +1140,14 @@ class ServingSimulator:
         return True
 
     def _finalize(
-        self, state: _InFlight, *, end: float, node_seconds: Dict[str, float]
+        self,
+        state: _InFlight,
+        *,
+        end: float,
+        node_seconds: Dict[str, float],
+        lead: Optional[NodeCompletion] = None,
     ) -> None:
-        fast = state.fast_completion
+        lead = lead or state.fast_completion
         escalated = bool(state.escalated)
         cost = self.cluster.cost_of(node_seconds)
         self._records.append(
@@ -469,13 +1158,19 @@ class ServingSimulator:
                 arrival_s=state.arrival,
                 finished_s=end,
                 response_time_s=end - state.arrival,
-                queue_wait_s=fast.started_at - state.arrival,
+                queue_wait_s=lead.started_at - state.arrival,
                 versions_used=tuple(node_seconds.keys()),
                 escalated=escalated,
                 invocation_cost=cost.invocation_cost,
                 node_seconds=dict(node_seconds),
+                failed=False,
+                retries=state.retries,
             )
         )
+        if self._check is not None:
+            self._check.on_finalized(
+                state.request.request_id, self._loop.now, failed=False
+            )
         del self._inflight[state.request.request_id]
         self._remaining -= 1
 
@@ -489,11 +1184,16 @@ class ServingSimulator:
         for version in balancer.versions:
             nodes = balancer.nodes_of(version)
             n_nodes = len(nodes)
-            queue_depth = sum(node.queue_depth for node in nodes)
+            queue_depth = sum(node.queue_depth for node in nodes) + len(
+                self._parked.get(version, ())
+            )
             busy_now = sum(node.busy_seconds for node in nodes)
             window = scaler.config.evaluation_interval_s
-            utilization = (busy_now - self._last_busy.get(version, 0.0)) / (
-                n_nodes * window
+            denominator = n_nodes * window
+            utilization = (
+                (busy_now - self._last_busy.get(version, 0.0)) / denominator
+                if denominator > 0.0
+                else 0.0
             )
             self._last_busy[version] = busy_now
             delta = scaler.decide(
@@ -514,6 +1214,7 @@ class ServingSimulator:
                         delta, queue_depth=queue_depth, n_nodes=n_nodes
                     ),
                 )
+                self._on_capacity_added(version)
             elif delta < 0:
                 removed = self.cluster.remove_node(version, now=now)
                 if removed is not None:

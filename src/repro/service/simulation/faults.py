@@ -1,0 +1,197 @@
+"""Declarative fault injection for the serving simulator.
+
+The PR 1 engine only exercised healthy clusters under clean arrival
+processes; the paper's tiered-serving argument, however, rests on behavior
+near saturation — which in production is where machines die, straggle and
+flake.  This module provides the *vocabulary* of degraded-mode events the
+engine can inject on its virtual clock:
+
+* :class:`NodeCrash` — a node dies at a timestamp: its queued requests are
+  requeued onto surviving nodes, its running batch is aborted (the work
+  done until the crash stays on the IaaS bill, but produces no results;
+  the affected attempts are retried under the :class:`RetryPolicy`), and
+  the node may be replaced by a fresh one at a recovery timestamp.
+* :class:`NodeSlowdown` — a straggler: one node's effective speed factor
+  is degraded for a window, so everything it serves takes longer.
+* :class:`TransientFaults` — a flaky window: job completions on affected
+  versions fail with a fixed probability (drawn from a dedicated, seeded
+  fault RNG so fault-free runs consume no extra randomness), triggering
+  retries or terminal request failure.
+
+All fault types are frozen dataclasses so a
+:class:`~repro.service.simulation.scenarios.ScenarioSpec` composed of them
+is hashable, comparable and serialisable.  Applying the same schedule to
+the same seeded simulation always reproduces the same
+:class:`~repro.service.simulation.report.LoadTestReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "FaultEvent",
+    "FaultLogEntry",
+    "NodeCrash",
+    "NodeSlowdown",
+    "RetryPolicy",
+    "TransientFaults",
+]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One node of a version's pool dies at a virtual timestamp.
+
+    Attributes:
+        at_s: Virtual time of the crash.
+        version: Pool the node belongs to.
+        node_index: Index of the victim within the pool *at crash time*
+            (pools mutate under autoscaling); an index beyond the current
+            pool is recorded as a no-op in the fault log.
+        recover_at_s: When given, a fresh replacement node (built to the
+            pool's specification) joins the pool at this time.
+    """
+
+    at_s: float
+    version: str
+    node_index: int = 0
+    recover_at_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0.0:
+            raise ValueError("at_s must be non-negative")
+        if self.node_index < 0:
+            raise ValueError("node_index must be non-negative")
+        if self.recover_at_s is not None and self.recover_at_s <= self.at_s:
+            raise ValueError("recover_at_s must lie after at_s")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown:
+    """A straggler: one node's speed is degraded for a window.
+
+    Attributes:
+        at_s: Virtual time the slowdown begins.
+        version: Pool the node belongs to.
+        node_index: Index of the straggler within the pool at onset time.
+        speed_factor: Multiplier on the node's effective speed in
+            ``(0, inf)``; ``0.25`` makes everything it serves 4x slower.
+            The degradation applies to batches *started* while it is in
+            effect (a batch already running keeps its finish time).
+        until_s: When given, the node's speed is restored at this time.
+    """
+
+    at_s: float
+    version: str
+    node_index: int = 0
+    speed_factor: float = 0.25
+    until_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0.0:
+            raise ValueError("at_s must be non-negative")
+        if self.node_index < 0:
+            raise ValueError("node_index must be non-negative")
+        if self.speed_factor <= 0.0:
+            raise ValueError("speed_factor must be positive")
+        if self.until_s is not None and self.until_s <= self.at_s:
+            raise ValueError("until_s must lie after at_s")
+
+
+@dataclass(frozen=True)
+class TransientFaults:
+    """A flaky window: completions fail with a fixed probability.
+
+    Attributes:
+        start_s: Virtual time the window opens.
+        end_s: Virtual time the window closes.
+        failure_probability: Probability in ``[0, 1]`` that a job finishing
+            inside the window (on an affected version) fails instead of
+            returning its result.  The node time is still spent — failed
+            work burns capacity, exactly as a timeout or a 5xx does.
+        versions: Affected version names; ``None`` affects every version.
+    """
+
+    start_s: float
+    end_s: float
+    failure_probability: float
+    versions: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0.0:
+            raise ValueError("start_s must be non-negative")
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must lie after start_s")
+        if not 0.0 <= self.failure_probability <= 1.0:
+            raise ValueError("failure_probability must be in [0, 1]")
+
+    def affects(self, version: str, time_s: float) -> bool:
+        """Whether a completion of ``version`` at ``time_s`` is in scope."""
+        if not self.start_s <= time_s < self.end_s:
+            return False
+        return self.versions is None or version in self.versions
+
+
+#: Any schedulable fault.
+FaultEvent = Union[NodeCrash, NodeSlowdown, TransientFaults]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the load balancer re-drives failed job attempts.
+
+    A job attempt fails when its node crashes mid-batch or a transient
+    fault window eats its completion.  While the request has attempts left
+    for that version, a new attempt is enqueued (onto a *surviving* node —
+    dead nodes leave the pool) after a backoff delay; once attempts are
+    exhausted, the request fails terminally unless it is already
+    answerable without the failed leg (a confident fast result makes an
+    accurate-leg failure harmless under ``conc``/``et``).
+
+    Attributes:
+        max_attempts: Total tries per ``(request, version)`` job, including
+            the first; ``1`` disables retries.
+        backoff_s: Delay before the first retry.
+        backoff_factor: Multiplier applied to the delay per further retry
+            (``backoff_s * backoff_factor ** (attempt - 1)``).
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_s < 0.0:
+            raise ValueError("backoff_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    def delay_before_retry(self, failed_attempt: int) -> float:
+        """Backoff before re-driving after ``failed_attempt`` (1-based)."""
+        if failed_attempt < 1:
+            raise ValueError("failed_attempt is 1-based")
+        return self.backoff_s * self.backoff_factor ** (failed_attempt - 1)
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One fault the engine actually applied (or skipped), for the report.
+
+    Attributes:
+        time_s: Virtual time the entry was logged.
+        kind: ``"crash"``, ``"recover"``, ``"slowdown"``, ``"restore"``,
+            ``"transient-window"`` or ``"skipped"``.
+        version: Affected pool.
+        node_id: Affected node, when the fault targets one.
+        detail: Free-form human-readable context.
+    """
+
+    time_s: float
+    kind: str
+    version: str
+    node_id: Optional[str] = None
+    detail: str = ""

@@ -1,0 +1,278 @@
+"""Opt-in conservation-law checking for the serving simulator.
+
+A discrete-event engine with fault injection has many ways to quietly go
+wrong: a crashed batch's requests can vanish, a retry can double-resolve a
+request, billed node-seconds can drift from the machine time actually
+worked.  :class:`InvariantChecker` is a ledger the engine feeds (when
+built with ``check_invariants=True``) from inside its event handlers; at
+drain time :meth:`InvariantChecker.verify` reconciles the ledger against
+the emitted :class:`~repro.service.simulation.report.LoadTestReport` and
+the cluster's books, raising :class:`InvariantViolation` on the first
+broken law.
+
+The laws:
+
+1. **Conservation of requests** — every arrived request is finalized
+   exactly once: it completes, or fails terminally.  No request is lost,
+   none is answered twice.
+2. **Conservation of attempts** — every started job attempt is closed
+   exactly once (completed, failed, cancelled, or explicitly detached);
+   attempt numbers per ``(request, version)`` are contiguous from 1; a
+   retry only ever follows a failed attempt; no job exceeds the retry
+   policy's ``max_attempts``.
+3. **Monotone clock** — ledger events arrive in non-decreasing virtual
+   time.
+4. **Billing reconciliation** — a request is only ever billed node-seconds
+   its *successful* job completions actually reported (early termination
+   may bill less, never more), and per version the total billed
+   node-seconds never exceed the machine time worked across live and
+   retired nodes.
+5. **Drained means drained** — when the report is emitted, no queue still
+   holds work.
+
+The checker is pure bookkeeping: it draws no randomness and schedules no
+events, so enabling it cannot change simulated behaviour (golden digests
+are identical with and without it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+__all__ = ["InvariantChecker", "InvariantViolation"]
+
+#: Absolute slack for float accumulation across thousands of records.
+_TOL = 1e-6
+
+#: Attempt outcomes the engine may report.
+_OUTCOMES = frozenset(
+    {"ok", "transient", "crash", "cancelled", "unserved", "detached"}
+)
+#: Outcomes after which a retry (a further attempt) is legal.
+_RETRYABLE = frozenset({"transient", "crash"})
+
+
+class InvariantViolation(AssertionError):
+    """A simulation conservation law was broken."""
+
+
+class InvariantChecker:
+    """Event ledger + end-of-run reconciliation for one simulation."""
+
+    def __init__(self) -> None:
+        self._last_time = 0.0
+        self._arrived: Dict[str, float] = {}
+        self._finalized: Dict[str, bool] = {}
+        self._started: Dict[Tuple[str, str], int] = {}
+        self._closed: Dict[Tuple[str, str], int] = {}
+        self._last_outcome: Dict[Tuple[str, str], str] = {}
+        self._ok_seconds: Dict[Tuple[str, str], float] = {}
+        self._detached: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # ledger hooks (called by the engine, in event order)
+    # ------------------------------------------------------------------
+    def tick(self, t: float) -> None:
+        """Record a clock observation; the virtual clock must not rewind."""
+        if t < self._last_time - 1e-12:
+            raise InvariantViolation(
+                f"virtual clock went backwards: {self._last_time:.9f} -> "
+                f"{t:.9f}"
+            )
+        self._last_time = max(self._last_time, t)
+
+    def on_arrival(self, request_id: str, t: float) -> None:
+        """One request arrived."""
+        self.tick(t)
+        if request_id in self._arrived:
+            raise InvariantViolation(f"request {request_id!r} arrived twice")
+        self._arrived[request_id] = t
+
+    def on_attempt_started(
+        self, request_id: str, version: str, attempt: int, t: float
+    ) -> None:
+        """A job attempt for one ``(request, version)`` leg began."""
+        self.tick(t)
+        key = (request_id, version)
+        expected = self._started.get(key, 0) + 1
+        if attempt != expected:
+            raise InvariantViolation(
+                f"{key}: attempt {attempt} started but {expected} expected "
+                "(attempt numbers must be contiguous from 1)"
+            )
+        if attempt > 1:
+            open_attempts = self._started.get(key, 0) - self._closed.get(key, 0)
+            if open_attempts != 0:
+                raise InvariantViolation(
+                    f"{key}: retry started while attempt still open"
+                )
+            last = self._last_outcome.get(key)
+            if last not in _RETRYABLE:
+                raise InvariantViolation(
+                    f"{key}: retry followed outcome {last!r}, not a failure"
+                )
+        self._started[key] = attempt
+
+    def on_attempt_finished(
+        self,
+        request_id: str,
+        version: str,
+        attempt: int,
+        t: float,
+        outcome: str,
+        *,
+        seconds: float = 0.0,
+    ) -> None:
+        """A started attempt closed with one of the known outcomes."""
+        self.tick(t)
+        if outcome not in _OUTCOMES:
+            raise InvariantViolation(f"unknown attempt outcome {outcome!r}")
+        key = (request_id, version)
+        if attempt != self._started.get(key, 0):
+            raise InvariantViolation(
+                f"{key}: attempt {attempt} closed but "
+                f"{self._started.get(key, 0)} was the last started"
+            )
+        closed = self._closed.get(key, 0) + 1
+        if closed > self._started.get(key, 0):
+            raise InvariantViolation(
+                f"{key}: more attempts closed than started"
+            )
+        self._closed[key] = closed
+        self._last_outcome[key] = outcome
+        if outcome == "ok":
+            self._ok_seconds[key] = self._ok_seconds.get(key, 0.0) + seconds
+
+    def on_attempt_detached(self, request_id: str, version: str) -> None:
+        """Close an attempt whose job runs on after its request resolved.
+
+        Early termination and terminal-failure cleanup can leave a job
+        executing whose result nobody will read; the attempt is accounted
+        for here and the eventual orphan completion is informational.
+        """
+        key = (request_id, version)
+        self._detached.add(key)
+        self.on_attempt_finished(
+            request_id,
+            version,
+            self._started.get(key, 0),
+            self._last_time,
+            "detached",
+        )
+
+    def on_orphan_finished(
+        self, request_id: str, version: str, t: float
+    ) -> None:
+        """A job completed for an already-resolved request."""
+        self.tick(t)
+        key = (request_id, version)
+        if key not in self._detached:
+            raise InvariantViolation(
+                f"{key}: orphan completion for an attempt never detached"
+            )
+
+    def on_finalized(self, request_id: str, t: float, *, failed: bool) -> None:
+        """One request resolved (answered or terminally failed)."""
+        self.tick(t)
+        if request_id not in self._arrived:
+            raise InvariantViolation(
+                f"request {request_id!r} finalized but never arrived"
+            )
+        if request_id in self._finalized:
+            raise InvariantViolation(
+                f"request {request_id!r} finalized twice"
+            )
+        self._finalized[request_id] = failed
+
+    # ------------------------------------------------------------------
+    # end-of-run reconciliation
+    # ------------------------------------------------------------------
+    def verify(self, report, cluster, retry: Optional[object] = None) -> None:
+        """Reconcile the ledger against the report and the cluster's books.
+
+        Args:
+            report: The emitted
+                :class:`~repro.service.simulation.report.LoadTestReport`.
+            cluster: The simulated
+                :class:`~repro.service.cluster.ClusterDeployment`.
+            retry: The engine's
+                :class:`~repro.service.simulation.faults.RetryPolicy`, for
+                the ``max_attempts`` bound (``None`` skips that check).
+
+        Raises:
+            InvariantViolation: On the first broken law.
+        """
+        # 1. conservation of requests
+        missing = set(self._arrived) - set(self._finalized)
+        if missing:
+            raise InvariantViolation(
+                f"{len(missing)} request(s) arrived but never resolved, "
+                f"e.g. {sorted(missing)[:3]}"
+            )
+        extra = set(self._finalized) - set(self._arrived)
+        if extra:
+            raise InvariantViolation(
+                f"request(s) resolved without arriving: {sorted(extra)[:3]}"
+            )
+        reported = {r.request_id for r in report.records}
+        if reported != set(self._finalized):
+            raise InvariantViolation(
+                "report records do not match the finalized-request ledger"
+            )
+        if len(report.records) != len(reported):
+            raise InvariantViolation("duplicate request ids in the report")
+
+        # 2. conservation of attempts
+        for key, started in self._started.items():
+            closed = self._closed.get(key, 0)
+            if closed != started:
+                raise InvariantViolation(
+                    f"{key}: {started} attempt(s) started but {closed} closed"
+                )
+            if retry is not None and started > retry.max_attempts:
+                raise InvariantViolation(
+                    f"{key}: {started} attempts exceed "
+                    f"max_attempts={retry.max_attempts}"
+                )
+
+        # 4. billing reconciliation (per record, then per version)
+        for record in report.records:
+            if record.failed != self._finalized[record.request_id]:
+                raise InvariantViolation(
+                    f"record {record.request_id!r}: failed flag disagrees "
+                    "with the ledger"
+                )
+            if record.finished_s < record.arrival_s - 1e-12:
+                raise InvariantViolation(
+                    f"record {record.request_id!r} finished before it arrived"
+                )
+            for version, seconds in record.node_seconds.items():
+                if seconds < -1e-12:
+                    raise InvariantViolation(
+                        f"record {record.request_id!r} billed negative "
+                        f"node-seconds for {version!r}"
+                    )
+                earned = self._ok_seconds.get(
+                    (record.request_id, version), 0.0
+                )
+                if seconds > earned + _TOL:
+                    raise InvariantViolation(
+                        f"record {record.request_id!r} billed {seconds:.9f}s "
+                        f"of {version!r} but successful completions only "
+                        f"reported {earned:.9f}s"
+                    )
+        billed = report.total_node_seconds
+        worked = cluster.total_busy_seconds()
+        for version, seconds in billed.items():
+            if seconds > worked.get(version, 0.0) + _TOL:
+                raise InvariantViolation(
+                    f"version {version!r}: billed {seconds:.9f} node-seconds "
+                    f"but only {worked.get(version, 0.0):.9f} were worked"
+                )
+
+        # 5. drained means drained
+        pending = {v: d for v, d in cluster.queue_depths().items() if d}
+        if pending:
+            raise InvariantViolation(
+                f"report emitted with work still queued: {pending}"
+            )

@@ -6,16 +6,31 @@ response time), the queueing share of latency, throughput, and what the
 traffic cost.  :class:`LoadTestReport` aggregates the per-request
 :class:`RequestRecord` stream the engine emits, plus the autoscaler's
 actions, into exactly those numbers.
+
+Fault-injection scenarios add the degraded-mode views: which requests
+failed terminally (availability), how many job attempts were re-driven
+(retries), the *goodput* — successful responses per second, the number an
+SLO actually cares about — and the log of faults the engine applied.
+Latency percentiles are computed over successful requests only; a request
+that never got an answer has no response time to rank.
+
+:meth:`LoadTestReport.digest` condenses an entire run — arrival times,
+routing decisions, completion order, retries, costs — into one SHA-256
+hex string.  Because the engine is bit-deterministic for a fixed seed and
+scenario, the digest is the regression currency of the golden-trace test
+harness: two runs of the same scenario must digest identically.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.service.simulation.autoscaler import ScalingEvent
+from repro.service.simulation.faults import FaultLogEntry
 
 __all__ = ["LoadTestReport", "RequestRecord"]
 
@@ -29,14 +44,22 @@ class RequestRecord:
         payload: The measured request id the request replayed.
         tier: Requested tolerance.
         arrival_s: Virtual arrival time.
-        finished_s: Virtual time the response became available.
+        finished_s: Virtual time the response became available (for a
+            failed request: the time failure became terminal).
         response_time_s: End-to-end latency including queueing.
-        queue_wait_s: Time the request's first job waited before starting.
-        versions_used: Versions that consumed node time for the request.
+        queue_wait_s: Time the request's first job waited before starting
+            (``0.0`` for a request that failed before any job finished).
+        versions_used: Versions that consumed billed node time for the
+            request.
         escalated: Whether the ensemble escalated to the accurate version.
-        invocation_cost: Amount billed to the consumer.
+        invocation_cost: Amount billed to the consumer (``0.0`` for a
+            failed request — failures are not billed).
         node_seconds: Node-seconds consumed per version (amortized over
             batches).
+        failed: True when the request failed terminally (attempts
+            exhausted, or capacity never recovered).
+        retries: Number of re-driven job attempts across the request's
+            versions (``0`` on a healthy run).
     """
 
     request_id: str
@@ -50,6 +73,8 @@ class RequestRecord:
     escalated: bool
     invocation_cost: float
     node_seconds: Dict[str, float] = field(default_factory=dict)
+    failed: bool = False
+    retries: int = 0
 
 
 @dataclass
@@ -61,25 +86,34 @@ class LoadTestReport:
         scaling_events: Actions the autoscaler took (empty without one).
         final_pool_sizes: Node count per version when the test drained.
         offered_rate: Mean offered arrival rate, when known.
+        fault_log: Faults the engine applied (empty for a healthy run).
     """
 
     records: List[RequestRecord]
     scaling_events: List[ScalingEvent] = field(default_factory=list)
     final_pool_sizes: Dict[str, int] = field(default_factory=dict)
     offered_rate: Optional[float] = None
+    fault_log: List[FaultLogEntry] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.records:
             raise ValueError("a load test report needs at least one record")
         self._latencies = np.asarray(
-            [r.response_time_s for r in self.records], dtype=float
+            [r.response_time_s for r in self.records if not r.failed],
+            dtype=float,
         )
 
     # ------------------------------------------------------------------
-    # latency
+    # latency (over successful requests)
     # ------------------------------------------------------------------
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile of end-to-end response time."""
+        """The ``q``-th percentile of successful response time.
+
+        Returns ``nan`` when every request failed — there is no latency
+        distribution to rank.
+        """
+        if self._latencies.size == 0:
+            return float("nan")
         return float(np.percentile(self._latencies, q))
 
     @property
@@ -99,21 +133,41 @@ class LoadTestReport:
 
     @property
     def mean_latency_s(self) -> float:
-        """Mean response time."""
+        """Mean response time of successful requests."""
+        if self._latencies.size == 0:
+            return float("nan")
         return float(self._latencies.mean())
 
     @property
     def mean_queue_wait_s(self) -> float:
         """Mean time a request's first job sat queued before starting."""
-        return float(np.mean([r.queue_wait_s for r in self.records]))
+        waits = [r.queue_wait_s for r in self.records if not r.failed]
+        if not waits:
+            return float("nan")
+        return float(np.mean(waits))
 
     # ------------------------------------------------------------------
     # throughput / cost / behaviour
     # ------------------------------------------------------------------
     @property
     def n_requests(self) -> int:
-        """Number of completed requests."""
+        """Number of resolved requests (successes and terminal failures)."""
         return len(self.records)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of requests that failed terminally."""
+        return sum(1 for r in self.records if r.failed)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that got an answer."""
+        return 1.0 - self.n_failed / self.n_requests
+
+    @property
+    def total_retries(self) -> int:
+        """Job attempts re-driven across all requests."""
+        return sum(r.retries for r in self.records)
 
     @property
     def makespan_s(self) -> float:
@@ -124,9 +178,16 @@ class LoadTestReport:
 
     @property
     def throughput_rps(self) -> float:
-        """Completed requests per virtual second."""
+        """Resolved requests per virtual second."""
         span = self.makespan_s
         return self.n_requests / span if span > 0.0 else float("inf")
+
+    @property
+    def goodput_rps(self) -> float:
+        """Successful responses per virtual second (what an SLO counts)."""
+        span = self.makespan_s
+        successes = self.n_requests - self.n_failed
+        return successes / span if span > 0.0 else float("inf")
 
     @property
     def total_invocation_cost(self) -> float:
@@ -135,12 +196,12 @@ class LoadTestReport:
 
     @property
     def mean_invocation_cost(self) -> float:
-        """Mean billed cost per request."""
+        """Mean billed cost per resolved request."""
         return self.total_invocation_cost / self.n_requests
 
     @property
     def total_node_seconds(self) -> Dict[str, float]:
-        """Node-seconds consumed per version across all requests."""
+        """Node-seconds billed per version across all requests."""
         totals: Dict[str, float] = {}
         for record in self.records:
             for version, seconds in record.node_seconds.items():
@@ -158,6 +219,10 @@ class LoadTestReport:
             "n_requests": self.n_requests,
             "offered_rate_rps": self.offered_rate or float("nan"),
             "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "availability": self.availability,
+            "n_failed": self.n_failed,
+            "total_retries": self.total_retries,
             "p50_latency_s": self.p50_latency_s,
             "p95_latency_s": self.p95_latency_s,
             "p99_latency_s": self.p99_latency_s,
@@ -166,4 +231,47 @@ class LoadTestReport:
             "mean_invocation_cost": self.mean_invocation_cost,
             "escalation_rate": self.escalation_rate,
             "n_scaling_events": len(self.scaling_events),
+            "n_fault_events": len(self.fault_log),
         }
+
+    # ------------------------------------------------------------------
+    # determinism
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 digest of the run's observable behaviour.
+
+        Covers, per request in completion order: identity, payload, tier,
+        arrival and finish times, routing (versions billed), escalation,
+        failure, retry count, billed cost and per-version node-seconds —
+        plus the final pool sizes and the fault log.  Floats are rendered
+        at 12 significant digits, which is far below the engine's
+        bit-determinism and far above any legitimate behavioural change.
+        """
+        h = hashlib.sha256()
+        for r in self.records:
+            seconds = ",".join(
+                f"{version}={r.node_seconds[version]:.12e}"
+                for version in sorted(r.node_seconds)
+            )
+            h.update(
+                (
+                    f"{r.request_id}|{r.payload}|{r.tier:.12e}|"
+                    f"{r.arrival_s:.12e}|{r.finished_s:.12e}|"
+                    f"{','.join(r.versions_used)}|{int(r.escalated)}|"
+                    f"{int(r.failed)}|{r.retries}|"
+                    f"{r.invocation_cost:.12e}|{seconds}\n"
+                ).encode()
+            )
+        for version in sorted(self.final_pool_sizes):
+            h.update(f"pool:{version}={self.final_pool_sizes[version]}\n".encode())
+        for entry in self.fault_log:
+            # node_id is deliberately excluded: node ids come from a
+            # process-global counter, so they differ between two runs in
+            # the same process even when behaviour is identical.
+            h.update(
+                (
+                    f"fault:{entry.time_s:.12e}|{entry.kind}|{entry.version}|"
+                    f"{entry.detail}\n"
+                ).encode()
+            )
+        return h.hexdigest()

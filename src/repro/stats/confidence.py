@@ -28,6 +28,23 @@ __all__ = [
     "zscores",
 ]
 
+#: Relative noise floor below which a sample's spread is treated as zero.
+#: A constant sample whose mean subtraction leaves float dust has
+#: ``std ~ eps * |value|`` (~1e-16 relative); genuine bootstrap-metric
+#: spread is many orders of magnitude larger.  Without this floor the
+#: z-score normalisation divides by that near-zero std and amplifies pure
+#: rounding noise into "observed spread", letting a degenerate metric
+#: falsely certify confidence.
+_REL_SPREAD_FLOOR = 1e-12
+
+
+def _is_effectively_constant(arr: np.ndarray, std: float) -> bool:
+    """Whether a sample's spread is indistinguishable from rounding noise."""
+    if std == 0.0:
+        return True
+    scale = float(np.abs(arr).max())
+    return std <= _REL_SPREAD_FLOOR * scale
+
 
 def normal_quantile(confidence: float) -> float:
     """Return the standard-normal quantile for a confidence level.
@@ -80,7 +97,11 @@ def spread_is_confident(values: Sequence[float], confidence: float) -> bool:
     sample with at least ``ceil(1 / (1 - confidence))`` trials is treated as
     confident: a metric that does not vary at all across that many random
     subsamples has, for the purposes of worst-case estimation, been observed
-    directly (this situation arises for deterministic costs).
+    directly (this situation arises for deterministic costs).  "Constant"
+    is judged against a relative noise floor, not exact float equality —
+    a sample whose only variation is rounding dust must follow the
+    constant rule, never feed the z-score normalisation (which would
+    divide by a near-zero std and manufacture spread out of noise).
 
     Args:
         values: Observed trial values for one metric.
@@ -90,7 +111,7 @@ def spread_is_confident(values: Sequence[float], confidence: float) -> bool:
     if arr.size < 2:
         return False
     quantile = normal_quantile(confidence)
-    if float(arr.std()) == 0.0:
+    if _is_effectively_constant(arr, float(arr.std())):
         needed = int(np.ceil(1.0 / max(1.0 - confidence, 1e-12)))
         # Cap the requirement so that degenerate (constant) metrics cannot
         # force an unbounded number of trials at very high confidence.
@@ -152,11 +173,16 @@ def _prefix_spread_flags(
     var_err = 16.0 * t * eps * (amax * amax + np.finfo(float).tiny)
     std_err = var_err / np.maximum(std, np.sqrt(var_err))
     tol = 4.0 * quantile * std_err + 64.0 * t * eps * (amax + std)
+    # |shift| + amax bounds the magnitude of the original (unshifted)
+    # values, so this flags every prefix the scalar test's relative
+    # noise floor would route to the constant-sample rule.
+    noise_floor = _REL_SPREAD_FLOOR * (np.abs(shift) + amax)
     uncertain = (
         (np.abs(low_margin) <= tol)
         | (np.abs(high_margin) <= tol)
         | (np.abs(wide_margin) <= tol)
         | (std <= std_err)
+        | (std <= noise_floor)
     )
     return satisfied, uncertain
 
@@ -293,7 +319,7 @@ class ConfidenceTest:
         if t >= self.max_trials:
             return True
         arr = column[:t]
-        if float(arr.std()) == 0.0:
+        if _is_effectively_constant(arr, float(arr.std())):
             needed = int(np.ceil(1.0 / max(1.0 - self.confidence, 1e-12)))
             needed = min(needed, 1000)
             return arr.size >= min(needed, 30)

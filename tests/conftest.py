@@ -14,6 +14,28 @@ from repro.datasets import make_imagenet_surrogate, make_voxforge_surrogate
 from repro.service import measure_asr_service, measure_ic_service
 
 
+def pytest_addoption(parser):
+    """Register the golden-trace regeneration flag.
+
+    ``--update-golden`` rewrites the scenario digests under
+    ``tests/service/golden/`` instead of comparing against them; see the
+    README in that directory for when regeneration is legitimate.
+    """
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden scenario trace digests instead of "
+        "asserting against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request):
+    """Whether this run should rewrite golden files."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def speech_corpus():
     """A small synthetic speech corpus (shared, read-only)."""

@@ -266,6 +266,57 @@ class TestGeneratorEquivalence:
             RoutingRuleGenerator(measurements, configurations, engine="warp")
 
 
+class TestZeroVarianceMetrics:
+    """Degenerate bootstrap inputs: metrics that never vary across trials.
+
+    A measurement table with constant per-version latency, error and
+    confidence makes every subsample identical, so all three metric
+    columns are zero-variance and the confidence test must fall through
+    to its constant-sample rule (no division by zero anywhere on the
+    path).  Both engines must agree bit-for-bit, including the trial
+    count the constant rule implies.
+    """
+
+    @pytest.fixture(scope="class")
+    def constant_space(self):
+        from repro.service.measurement import MeasurementSet
+
+        n = 40
+        ids = tuple(f"c{i:02d}" for i in range(n))
+        measurements = MeasurementSet(
+            service="constant",
+            request_ids=ids,
+            versions=("fast", "slow"),
+            error=np.column_stack([np.full(n, 0.2), np.zeros(n)]),
+            latency_s=np.column_stack([np.full(n, 0.05), np.full(n, 0.4)]),
+            confidence=np.column_stack([np.full(n, 0.9), np.full(n, 0.95)]),
+            version_instances={"fast": "cpu.medium", "slow": "cpu.medium"},
+        )
+        configurations = enumerate_configurations(
+            measurements, thresholds=(0.5,), fast_versions=["fast"]
+        )
+        return measurements, configurations
+
+    def test_engines_agree_on_constant_metrics(self, constant_space):
+        measurements, configurations = constant_space
+        kwargs = dict(confidence=0.999, seed=3, min_trials=10, max_trials=60)
+        vectorized = RoutingRuleGenerator(
+            measurements, configurations, engine="vectorized", **kwargs
+        )
+        legacy = RoutingRuleGenerator(
+            measurements, configurations, engine="legacy", **kwargs
+        )
+        for a, b in zip(vectorized.results, legacy.results):
+            assert a.config_id == b.config_id
+            assert a.n_trials == b.n_trials
+            assert a.error_degradation == b.error_degradation
+            assert a.mean_response_time_s == b.mean_response_time_s
+            assert a.mean_invocation_cost == b.mean_invocation_cost
+        # the constant-sample rule demands min(ceil(1/(1-0.999)), 30)
+        # trials, which dominates min_trials here
+        assert all(e.n_trials == 30 for e in vectorized.results)
+
+
 class _OpaquePolicy(EnsemblePolicy):
     """A policy the outcome matrix cannot expand (custom evaluate)."""
 

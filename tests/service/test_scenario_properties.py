@@ -1,0 +1,223 @@
+"""Randomized property-style tests over the scenario space.
+
+Fifty seeded random :class:`ScenarioSpec`\\ s — random tier mixes, arrival
+processes, batching, autoscaling, retry policies and fault schedules —
+each asserting the engine's conservation laws hold (the invariant checker
+runs inside every simulation) and that every submitted request resolves.
+The fault-free slice additionally asserts zero behaviour drift: a spec
+with no faults and no retries must reproduce, digest-for-digest, what a
+plain engine run (no fault subsystem arguments at all) produces.
+
+Seeds 0–19 run in the fast tier; the rest carry the ``slow`` marker and
+run in CI's full tier (see pytest.ini / docs/SCENARIOS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import EnsembleConfiguration
+from repro.core.policies import (
+    ConcurrentPolicy,
+    EarlyTerminationPolicy,
+    SequentialPolicy,
+    SingleVersionPolicy,
+)
+from repro.service.simulation import (
+    AutoscalerConfig,
+    BatchingConfig,
+    BurstyArrivals,
+    DiurnalArrivals,
+    NodeCrash,
+    NodeSlowdown,
+    PoissonArrivals,
+    RetryPolicy,
+    ScenarioSpec,
+    ServingSimulator,
+    SpikeArrivals,
+    TransientFaults,
+    build_replay_cluster,
+    run_scenario,
+    scenario_measurements,
+)
+
+N_SPECS = 50
+FAST_SPECS = 20
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return scenario_measurements()
+
+
+def _random_policy(rng):
+    kind = rng.integers(0, 5)
+    threshold = float(rng.choice([0.4, 0.5, 0.6, 0.7]))
+    if kind == 0:
+        return SingleVersionPolicy("fast")
+    if kind == 1:
+        return SingleVersionPolicy("slow")
+    if kind == 2:
+        return SequentialPolicy("fast", "slow", threshold)
+    if kind == 3:
+        return ConcurrentPolicy("fast", "slow", threshold)
+    return EarlyTerminationPolicy("fast", "slow", threshold)
+
+
+def _random_arrivals(rng):
+    kind = rng.integers(0, 4)
+    rate = float(rng.uniform(1.0, 6.0))
+    if kind == 0:
+        return PoissonArrivals(rate)
+    if kind == 1:
+        return BurstyArrivals(
+            rate, rate * 5.0, mean_calm_s=4.0, mean_burst_s=1.0
+        )
+    if kind == 2:
+        return SpikeArrivals(
+            rate,
+            spike_start_s=float(rng.uniform(1.0, 5.0)),
+            spike_duration_s=float(rng.uniform(1.0, 4.0)),
+            spike_multiplier=float(rng.uniform(2.0, 6.0)),
+        )
+    return DiurnalArrivals(
+        rate,
+        amplitude=float(rng.uniform(0.2, 0.8)),
+        period_s=float(rng.uniform(10.0, 40.0)),
+    )
+
+
+def _random_faults(rng, versions):
+    faults = []
+    n_faults = int(rng.integers(1, 4))
+    for _ in range(n_faults):
+        version = str(rng.choice(versions))
+        kind = rng.integers(0, 3)
+        at = float(rng.uniform(0.5, 8.0))
+        if kind == 0:
+            recover = (
+                at + float(rng.uniform(1.0, 6.0))
+                if rng.uniform() < 0.7
+                else None
+            )
+            faults.append(
+                NodeCrash(
+                    at_s=at,
+                    version=version,
+                    node_index=int(rng.integers(0, 3)),
+                    recover_at_s=recover,
+                )
+            )
+        elif kind == 1:
+            faults.append(
+                NodeSlowdown(
+                    at_s=at,
+                    version=version,
+                    node_index=int(rng.integers(0, 3)),
+                    speed_factor=float(rng.uniform(0.1, 0.8)),
+                    until_s=at + float(rng.uniform(1.0, 8.0))
+                    if rng.uniform() < 0.7
+                    else None,
+                )
+            )
+        else:
+            faults.append(
+                TransientFaults(
+                    start_s=at,
+                    end_s=at + float(rng.uniform(1.0, 8.0)),
+                    failure_probability=float(rng.uniform(0.1, 0.9)),
+                    versions=(version,) if rng.uniform() < 0.7 else None,
+                )
+            )
+    return tuple(faults)
+
+
+def _random_spec(seed, *, with_faults):
+    rng = np.random.default_rng([seed, 20260728])
+    policy = _random_policy(rng)
+    versions = tuple(
+        {v: None for v in policy.versions}  # ordered, unique
+    )
+    pools = {v: int(rng.integers(1, 4)) for v in versions}
+    retry = (
+        RetryPolicy(
+            max_attempts=int(rng.integers(2, 4)),
+            backoff_s=float(rng.uniform(0.0, 0.1)),
+        )
+        if with_faults
+        else RetryPolicy()
+    )
+    return ScenarioSpec(
+        name=f"random-{seed}",
+        arrivals=_random_arrivals(rng),
+        n_requests=int(rng.integers(30, 70)),
+        pools=pools,
+        configuration=EnsembleConfiguration(f"cfg_{seed}", policy),
+        batching=BatchingConfig(
+            max_batch_size=int(rng.integers(2, 6)),
+            max_wait_s=float(rng.uniform(0.0, 0.1)),
+        )
+        if rng.uniform() < 0.5
+        else None,
+        autoscaler_config=AutoscalerConfig(
+            min_nodes=1,
+            max_nodes=int(rng.integers(3, 6)),
+            scale_up_queue_depth=float(rng.uniform(1.0, 4.0)),
+            evaluation_interval_s=float(rng.uniform(0.25, 1.0)),
+            cooldown_s=float(rng.uniform(0.0, 1.0)),
+        )
+        if rng.uniform() < 0.4
+        else None,
+        retry=retry,
+        faults=_random_faults(rng, versions) if with_faults else (),
+        seed=seed,
+    )
+
+
+def _marked_seeds():
+    return [
+        pytest.param(seed, marks=pytest.mark.slow)
+        if seed >= FAST_SPECS
+        else seed
+        for seed in range(N_SPECS)
+    ]
+
+
+@pytest.mark.parametrize("seed", _marked_seeds())
+def test_random_faulty_scenarios_obey_invariants(seed, toy):
+    """Invariants hold across the randomized fault-injection space."""
+    spec = _random_spec(seed, with_faults=True)
+    report = run_scenario(spec, toy, check_invariants=True)
+    assert report.n_requests == spec.n_requests
+    assert 0.0 <= report.availability <= 1.0
+    assert report.total_retries >= 0
+    # billed node-seconds stay non-negative and only name deployed pools
+    for record in report.records:
+        assert set(record.node_seconds) <= set(spec.pools)
+        if record.failed:
+            assert record.invocation_cost == 0.0
+
+
+@pytest.mark.parametrize("seed", range(0, 30, 2))
+def test_fault_free_specs_match_plain_engine_bit_for_bit(seed, toy):
+    """No behaviour drift: the fault subsystem is invisible when unused."""
+    spec = _random_spec(seed, with_faults=False)
+    via_scenario = run_scenario(spec, toy, check_invariants=True)
+
+    from repro.service.simulation import Autoscaler
+
+    cluster = build_replay_cluster(toy, dict(spec.pools))
+    plain = ServingSimulator(
+        cluster,
+        configuration=spec.configuration,
+        batching=spec.batching,
+        autoscaler=Autoscaler(spec.autoscaler_config)
+        if spec.autoscaler_config is not None
+        else None,
+        seed=spec.seed,
+    )
+    direct = plain.run(
+        spec.arrivals, spec.n_requests, payload_ids=toy.request_ids
+    )
+    assert via_scenario.digest() == direct.digest()
+    assert via_scenario.total_retries == 0
+    assert via_scenario.n_failed == 0

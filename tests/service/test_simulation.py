@@ -63,7 +63,11 @@ def _config(policy):
 def _simulate(measurements, policy, *, pools, rate=3.0, n=150, **kwargs):
     cluster = build_replay_cluster(measurements, pools)
     sim = ServingSimulator(
-        cluster, configuration=_config(policy), seed=11, **kwargs
+        cluster,
+        configuration=_config(policy),
+        seed=11,
+        check_invariants=True,
+        **kwargs,
     )
     return sim.run(
         PoissonArrivals(rate), n, payload_ids=measurements.request_ids
@@ -361,6 +365,7 @@ class TestServingSimulator:
             configuration=_config(SingleVersionPolicy("fast")),
             batching=BatchingConfig(max_batch_size=32, max_wait_s=0.5),
             seed=0,
+            check_invariants=True,
         )
         trace = TraceArrivals([0.0, 0.1])
         report = sim.run(trace, 2, payload_ids=toy_measurements.request_ids)
@@ -399,6 +404,7 @@ class TestServingSimulator:
             configuration=_config(SingleVersionPolicy("slow")),
             autoscaler=scaler,
             seed=5,
+            check_invariants=True,
         )
         report = sim.run(
             PoissonArrivals(8.0), 150, payload_ids=toy_measurements.request_ids
@@ -424,6 +430,7 @@ class TestServingSimulator:
             configuration=_config(SingleVersionPolicy("fast")),
             autoscaler=scaler,
             seed=6,
+            check_invariants=True,
         )
         # a hard burst followed by a long quiet tail of stragglers
         burst = list(np.linspace(0.0, 0.5, 60)) + [3.0, 6.0, 9.0, 12.0]
@@ -456,6 +463,7 @@ class TestServingSimulator:
             configuration=_config(SingleVersionPolicy("fast")),
             autoscaler=scaler,
             seed=3,
+            check_invariants=True,
         )
         # Light load: a fresh cluster would produce zero scale-ups, and a
         # warmed one must not differ (the baseline is seeded at init).
@@ -495,6 +503,7 @@ class TestServingSimulator:
             router=TierRouter({Objective.RESPONSE_TIME: table}),
             batching=BatchingConfig(max_batch_size=3, max_wait_s=0.5),
             seed=0,
+            check_invariants=True,
         )
         # r1 (et, confident) arms the slow node's flush from t=0; r2 fills
         # the fast batch without touching the slow pool; r3 (et, not
@@ -529,7 +538,9 @@ class TestServingSimulator:
         cluster = build_replay_cluster(
             toy_measurements, {"fast": 1, "slow": 1}
         )
-        sim = ServingSimulator(cluster, router=router, seed=2)
+        sim = ServingSimulator(
+            cluster, router=router, seed=2, check_invariants=True
+        )
         report = sim.run(
             PoissonArrivals(2.0),
             80,
@@ -591,7 +602,10 @@ class TestServingSimulator:
     def test_simulator_is_single_use(self, toy_measurements):
         cluster = build_replay_cluster(toy_measurements, {"fast": 1})
         sim = ServingSimulator(
-            cluster, configuration=_config(SingleVersionPolicy("fast")), seed=0
+            cluster,
+            configuration=_config(SingleVersionPolicy("fast")),
+            seed=0,
+            check_invariants=True,
         )
         sim.run(PoissonArrivals(2.0), 10, payload_ids=toy_measurements.request_ids)
         with pytest.raises(ValueError, match="single-use"):

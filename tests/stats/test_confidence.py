@@ -88,6 +88,72 @@ class TestConfidenceTest:
             ConfidenceTest(min_trials=10, max_trials=5)
 
 
+class TestDegenerateSamples:
+    """Edge cases: n=1 trials and zero-variance (constant) prefixes.
+
+    These are the inputs where a naive implementation divides by zero
+    (``std == 0``) or trusts a single observation; every public entry
+    point must handle them without warnings and agree with the scalar
+    rules.
+    """
+
+    def test_single_trial_is_never_confident(self):
+        assert not spread_is_confident([3.14], 0.9)
+        test = ConfidenceTest(confidence=0.9, min_trials=2, max_trials=50)
+        assert not test.is_satisfied([3.14])
+        assert test.first_satisfied(([3.14],)) is None
+
+    def test_single_trial_zero_value(self):
+        # zero mean AND zero spread: both normalisations degenerate
+        assert np.allclose(zscores([0.0]), 0.0)
+        assert not spread_is_confident([0.0], 0.999)
+
+    def test_confidence_arbitrarily_close_to_one(self):
+        # 1 - confidence underflows toward zero: the constant-sample rule
+        # divides by it and must stay finite (guarded at 1e-12).
+        confidence = 1.0 - 1e-13
+        assert not spread_is_confident([2.0, 2.0], confidence)
+        # the trial requirement is capped, so a long constant sample still
+        # passes rather than demanding ~1e13 trials
+        assert spread_is_confident([2.0] * 30, confidence)
+
+    def test_zero_variance_prefix_then_spread(self):
+        """A constant prefix must follow the constant rule, then hand over
+        to the spread rule the moment variance appears."""
+        test = ConfidenceTest(confidence=0.9, min_trials=2, max_trials=100)
+        # constant rule needs ceil(1/(1-0.9)) = 10 trials; variance starts
+        # at trial 8, so the constant rule never fires and the spread rule
+        # decides.
+        column = np.array([5.0] * 7 + [5.0, 25.0, -15.0, 5.1, 4.9])
+        naive = TestFirstSatisfied._naive(test, (column,), 1)
+        assert test.first_satisfied((column,)) == naive
+
+    def test_zero_variance_prefix_satisfies_constant_rule(self):
+        test = ConfidenceTest(confidence=0.9, min_trials=2, max_trials=100)
+        column = np.full(15, 7.5)
+        # ceil(1 / (1 - 0.9)) constant trials satisfy the test; in float
+        # arithmetic 1 / (1 - 0.9) lands just above 10, so the rule
+        # demands 11.
+        assert test.first_satisfied((column,)) == 11
+        assert test.first_satisfied((column[:10],)) is None
+
+    def test_near_zero_variance_prefix_matches_scalar(self):
+        """Variance within float error of zero must not misclassify."""
+        test = ConfidenceTest(confidence=0.999, min_trials=2, max_trials=100)
+        base = 1e9
+        column = np.full(40, base)
+        column[20:] += 1e-7  # far below the running-stats error bound
+        naive = TestFirstSatisfied._naive(test, (column,), 1)
+        assert test.first_satisfied((column,)) == naive
+
+    def test_mixed_constant_and_spread_columns(self):
+        test = ConfidenceTest(confidence=0.9, min_trials=2, max_trials=100)
+        constant = np.zeros(20)
+        spread = np.concatenate([[0.0, 10.0, -10.0], np.full(17, 0.1)])
+        naive = TestFirstSatisfied._naive(test, (constant, spread), 1)
+        assert test.first_satisfied((constant, spread)) == naive
+
+
 class TestFirstSatisfied:
     """The vectorized prefix scan must agree with the sequential loop."""
 
