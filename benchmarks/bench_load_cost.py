@@ -24,12 +24,11 @@ from conftest import save_artifact
 from repro.analysis import format_table
 from repro.core.configuration import EnsembleConfiguration
 from repro.core.policies import SingleVersionPolicy
+from repro.service.gateway import SimulatedBackend, TierGateway
 from repro.service.simulation import (
-    Autoscaler,
     AutoscalerConfig,
     BatchingConfig,
     PoissonArrivals,
-    ServingSimulator,
     build_replay_cluster,
 )
 
@@ -43,15 +42,13 @@ INITIAL_NODES = 1
 BATCHING = BatchingConfig(max_batch_size=4, max_wait_s=0.01)
 
 
-def _autoscaler():
-    return Autoscaler(
-        AutoscalerConfig(
-            min_nodes=INITIAL_NODES,
-            max_nodes=8,
-            scale_up_queue_depth=3.0,
-            evaluation_interval_s=0.5,
-            cooldown_s=1.0,
-        )
+def _autoscaler_config():
+    return AutoscalerConfig(
+        min_nodes=INITIAL_NODES,
+        max_nodes=8,
+        scale_up_queue_depth=3.0,
+        evaluation_interval_s=0.5,
+        cooldown_s=1.0,
     )
 
 
@@ -60,15 +57,18 @@ def _pools(configuration):
 
 
 def _run(measurements, *, rate, configuration, seed):
+    # Like LOAD1, the sweep exercises the public gateway API end to end.
     cluster = build_replay_cluster(measurements, _pools(configuration))
-    simulator = ServingSimulator(
-        cluster,
+    gateway = TierGateway(
+        SimulatedBackend(
+            cluster,
+            batching=BATCHING,
+            autoscaler_config=_autoscaler_config(),
+            seed=seed,
+        ),
         configuration=configuration,
-        batching=BATCHING,
-        autoscaler=_autoscaler(),
-        seed=seed,
     )
-    return simulator.run(
+    return gateway.run_load(
         PoissonArrivals(rate),
         N_REQUESTS,
         tolerance=TIER,

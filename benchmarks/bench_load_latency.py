@@ -37,10 +37,10 @@ from repro.analysis import format_table
 from repro.core import RoutingRuleGenerator, enumerate_configurations
 from repro.core.configuration import EnsembleConfiguration
 from repro.core.policies import SingleVersionPolicy
+from repro.service.gateway import SimulatedBackend, TierGateway
 from repro.service.simulation import (
     BatchingConfig,
     PoissonArrivals,
-    ServingSimulator,
     build_replay_cluster,
 )
 
@@ -103,15 +103,16 @@ def _tier_versions(measurements, configuration):
 
 
 def _run(measurements, *, rate, configuration=None, router=None, pools, seed):
+    # The load test drives the *public API*: a TierGateway over the
+    # simulated backend, whose run_load() is bit-identical to driving the
+    # engine directly.
     cluster = build_replay_cluster(measurements, pools)
-    simulator = ServingSimulator(
-        cluster,
+    gateway = TierGateway(
+        SimulatedBackend(cluster, batching=BATCHING, seed=seed),
         configuration=configuration,
         router=router,
-        batching=BATCHING,
-        seed=seed,
     )
-    return simulator.run(
+    return gateway.run_load(
         PoissonArrivals(rate),
         N_REQUESTS,
         tolerance=TIER,

@@ -1,12 +1,15 @@
-"""Live serving scenario: an annotated-request endpoint over real CNNs.
+"""Live serving scenario: the tier gateway over real CNNs.
 
 Everything here runs "for real": miniature CNNs are trained with the NumPy
 trainer, wrapped as service versions, deployed as node pools behind a load
-balancer, and fronted by a Tolerance Tiers endpoint.  Consumers then submit
-requests with the paper's ``Tolerance`` / ``Objective`` headers — a photo
-organiser that just wants quick labels uses the 10 % tier, a medical-imaging
-triage app insists on the 0 % tier — and the endpoint escalates between the
-small and large CNN based on the small model's confidence.
+balancer, and fronted by a :class:`~repro.service.gateway.TierGateway`
+over the live :class:`~repro.service.gateway.DirectBackend`.  Consumers
+then submit requests with the paper's ``Tolerance`` / ``Objective``
+headers — a photo organiser that just wants quick labels uses the 10 %
+tier, a medical-imaging triage app insists on the 0 % tier — and the
+gateway escalates between the small and large CNN based on the small
+model's confidence.  A final batch shows the session surface: tickets
+from ``submit_batch`` with a per-request deadline.
 
 Run with::
 
@@ -20,14 +23,15 @@ import numpy as np
 from repro.core import (
     RoutingRuleGenerator,
     TierRouter,
-    ToleranceTiersService,
     enumerate_configurations,
 )
+from repro.service.gateway import DirectBackend, TierGateway
 from repro.datasets import make_imagenet_surrogate
 from repro.service import (
     ClusterDeployment,
     NodePool,
     Objective,
+    ServiceRequest,
     get_instance_type,
     measure_mini_ic_service,
 )
@@ -116,7 +120,7 @@ def main() -> None:
             ),
         }
     )
-    service = ToleranceTiersService(cluster, router)
+    gateway = TierGateway(DirectBackend(cluster), router=router)
 
     rng = np.random.default_rng(0)
     print("\nServing annotated requests (paper Section IV-A):")
@@ -126,7 +130,7 @@ def main() -> None:
         ("medical-triage", {"Tolerance": "0.0", "Objective": "response-time"}),
     ):
         image_index = int(rng.integers(600, 900))
-        response = service.handle_http(
+        response = gateway.handle_http(
             request_id=f"{consumer}_{image_index}",
             payload=image_index,
             headers=headers,
@@ -139,6 +143,27 @@ def main() -> None:
             f"latency={response.response_time_s * 1000:6.1f} ms  "
             f"cost=${response.invocation_cost * 1e6:.2f}e-6"
         )
+
+    # The session surface: a burst of 10 %-tier requests as tickets, each
+    # against a 150 ms response-time deadline.
+    batch = [
+        ServiceRequest(
+            request_id=f"burst_{i:02d}",
+            payload=int(rng.integers(600, 900)),
+            tolerance=0.10,
+        )
+        for i in range(8)
+    ]
+    tickets = gateway.submit_batch(batch, deadline_s=0.150)
+    met = sum(1 for t in tickets if t.deadline_met)
+    escalated = sum(
+        1 for t in tickets if len(t.result().versions_used) > 1
+    )
+    print(
+        f"\nBurst of {len(tickets)} ticketed requests: "
+        f"{met}/{len(tickets)} met the 150 ms deadline, "
+        f"{escalated} escalated to the accurate model"
+    )
 
     print("\nProvider-side IaaS spend per version:")
     for version, spend in cluster.iaas_spend().items():

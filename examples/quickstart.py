@@ -6,9 +6,12 @@ service in under a minute:
 1. measure every service version over a batch of representative requests,
 2. inspect the "one size fits all" trade-off those measurements expose,
 3. let the routing-rule generator bootstrap the ensemble design space with
-   statistical confidence, and
+   statistical confidence,
 4. read off, for the 1 % / 5 % / 10 % tiers, which ensemble each tier uses
-   and what it saves compared to always serving the most accurate model.
+   and what it saves compared to always serving the most accurate model, and
+5. stand up a :class:`~repro.service.gateway.TierGateway` over the same
+   measurements (a :class:`~repro.service.gateway.ReplayBackend` — no
+   cluster needed) and serve a batch of annotated requests through it.
 
 Run with::
 
@@ -21,11 +24,13 @@ from repro.analysis import format_table, osfa_limit_summary, version_summaries
 from repro.core import (
     RoutingRuleGenerator,
     SingleVersionPolicy,
+    TierRouter,
     build_pricing,
     enumerate_configurations,
     evaluate_policy,
 )
-from repro.service import measure_ic_service
+from repro.service import Objective, ServiceRequest, measure_ic_service
+from repro.service.gateway import ReplayBackend, TierGateway
 
 
 def main() -> None:
@@ -65,8 +70,10 @@ def main() -> None:
         measurements.most_accurate_version()
     ).evaluate(measurements)
     tolerances = [0.01, 0.05, 0.10]
+    tables = {}
     for objective in ("response-time", "cost"):
         table = generator.generate(tolerances, objective)
+        tables[Objective.from_header(objective)] = table
         rows = []
         for tolerance in tolerances:
             configuration = table.config_for(tolerance)
@@ -94,6 +101,27 @@ def main() -> None:
             )
         )
         print()
+
+    # 5. Serve through the gateway.  The replay backend executes each
+    # ensemble against the measured outcome table, so no cluster is needed
+    # to see the client API end to end.
+    gateway = TierGateway(ReplayBackend(measurements), router=TierRouter(tables))
+    requests = [
+        ServiceRequest(
+            request_id=f"client_{i}",
+            payload=measurements.request_ids[i],
+            tolerance=tolerance,
+        )
+        for i, tolerance in enumerate([0.0, 0.01, 0.05, 0.10] * 3)
+    ]
+    tickets = gateway.submit_batch(requests, deadline_s=0.5)
+    escalated = sum(1 for t in tickets if len(t.result().versions_used) > 1)
+    met = sum(1 for t in tickets if t.deadline_met)
+    print(
+        f"Gateway over the replay backend served {len(tickets)} annotated "
+        f"requests: {escalated} escalated, {met}/{len(tickets)} met the "
+        "500 ms deadline."
+    )
 
 
 if __name__ == "__main__":

@@ -23,17 +23,48 @@ The package follows the paper's architecture (Section IV):
   (tolerance, objective) to a configuration.
 * :mod:`repro.core.guarantees` -- the k-fold held-out audit showing the
   accuracy guarantees are never violated.
-* :mod:`repro.core.api` -- the consumer-facing Tolerance Tiers endpoint
-  (the ``Tolerance:`` / ``Objective:`` annotated request interface).
+* :mod:`repro.core.executor` -- the one canonical implementation of the
+  single/seq/conc/et ensemble semantics (:class:`PolicyExecutor` and the
+  pure decision functions the simulation engine shares).
+* :mod:`repro.core.errors` -- the structured :class:`TierError` hierarchy
+  of the serving surface.
+* :mod:`repro.core.api` -- the deprecated ``ToleranceTiersService`` shim;
+  the serving surface is now
+  :class:`~repro.service.gateway.gateway.TierGateway` (re-exported here
+  lazily, together with the execution backends).
 * :mod:`repro.core.learned_router` -- the learned-escalation baseline the
   paper compared against (and found no better than the simple policies).
 
 The replay machinery here is contention-free by design; evaluating the
 same tiers under offered load (queueing, batching, autoscaling) lives in
-:mod:`repro.service.simulation`.
+:mod:`repro.service.simulation` — and the gateway's ``SimulatedBackend``
+serves the public API straight through it.
 """
 
 from repro.core.api import ToleranceTiersService
+from repro.core.errors import (
+    BackendCapabilityError,
+    GatewayClosedError,
+    MissingVersionError,
+    PolicyConfigurationError,
+    RequestFailedError,
+    RequestValidationError,
+    ResultPendingError,
+    TierError,
+    UnknownObjectiveError,
+    UnroutableToleranceError,
+)
+from repro.core.executor import (
+    ExecutionBackend,
+    ExecutionOutcome,
+    Invocation,
+    PolicyExecutor,
+    billed_node_seconds,
+    compose_response_time,
+    early_termination_cap,
+    require_confidence_threshold,
+    should_escalate,
+)
 from repro.core.bootstrap import WorstCaseEstimate, bootstrap_configuration
 from repro.core.configuration import (
     EnsembleConfiguration,
@@ -66,33 +97,76 @@ from repro.core.simulator import TierSimulation, simulate
 from repro.core.tiers import ToleranceTier
 
 __all__ = [
+    "BackendCapabilityError",
     "ConcurrentPolicy",
     "ConfigurationColumns",
+    "DirectBackend",
     "EarlyTerminationPolicy",
     "EnsembleConfiguration",
     "EnsembleOutcomes",
     "EnsemblePolicy",
+    "ExecutionBackend",
+    "ExecutionOutcome",
+    "GatewayClosedError",
     "GuaranteeAudit",
+    "Invocation",
     "LazyRequestIds",
     "LogisticEscalationPolicy",
+    "MissingVersionError",
     "OutcomeMatrix",
+    "PolicyConfigurationError",
+    "PolicyExecutor",
     "PolicyMetrics",
+    "ReplayBackend",
+    "RequestFailedError",
+    "RequestValidationError",
+    "ResultPendingError",
     "RoutingRuleGenerator",
+    "SimulatedBackend",
     "TrialMetricBlock",
     "RoutingRuleTable",
     "SequentialPolicy",
     "SingleVersionPolicy",
+    "TierError",
+    "TierGateway",
     "TierRouter",
     "TierSimulation",
+    "TierTicket",
     "ToleranceAuditRow",
     "ToleranceTier",
     "ToleranceTiersService",
+    "UnknownObjectiveError",
+    "UnroutableToleranceError",
     "WorstCaseEstimate",
     "audit_guarantees",
+    "billed_node_seconds",
     "bootstrap_configuration",
     "build_pricing",
+    "compose_response_time",
+    "early_termination_cap",
     "enumerate_configurations",
     "error_degradation",
     "evaluate_policy",
+    "require_confidence_threshold",
+    "should_escalate",
     "simulate",
 ]
+
+#: Gateway names re-exported lazily (PEP 562): the gateway package imports
+#: ``repro.core`` submodules, so an eager import here would be circular
+#: when the gateway is the import entry point.
+_GATEWAY_EXPORTS = (
+    "DirectBackend",
+    "ReplayBackend",
+    "SimulatedBackend",
+    "TierGateway",
+    "TierTicket",
+)
+
+
+def __getattr__(name):
+    if name in _GATEWAY_EXPORTS:
+        from repro.service import gateway as _gateway
+
+        return getattr(_gateway, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

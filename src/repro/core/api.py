@@ -1,19 +1,30 @@
-"""The consumer-facing Tolerance Tiers service endpoint.
+"""Deprecated: the original consumer-facing Tolerance Tiers endpoint.
 
-This is the live-serving counterpart of the measurement-replay machinery:
-an API consumer submits a request annotated with ``Tolerance`` and
-``Objective`` headers (paper Section IV-A), the tier router picks an
-ensemble configuration, and the configuration is executed against a real
-:class:`~repro.service.cluster.ClusterDeployment` — dispatching to the fast
-version's pool, checking its confidence, and escalating to the accurate
-pool when the policy says so.
+:class:`ToleranceTiersService` used to carry its own hand-rolled copy of
+the single/seq/conc/et escalation semantics.  That logic now lives in one
+place — :class:`~repro.core.executor.PolicyExecutor` — and the serving
+surface is :class:`~repro.service.gateway.gateway.TierGateway`, which adds
+sessions, tickets, deadlines, a structured error hierarchy and pluggable
+execution backends (live, replay, simulated).
+
+This class remains as a thin shim over ``TierGateway`` +
+:class:`~repro.service.gateway.backends.DirectBackend` with bit-identical
+responses, and emits a :class:`DeprecationWarning` at construction.
+Migrate with::
+
+    # before
+    service = ToleranceTiersService(cluster, router)
+    # after
+    gateway = TierGateway(DirectBackend(cluster), router=router)
+
+(see ``docs/API.md`` for the full migration guide).
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+import warnings
+from typing import Any, Mapping
 
-from repro.core.configuration import EnsembleConfiguration
 from repro.core.router import TierRouter
 from repro.service.cluster import ClusterDeployment
 from repro.service.request import ServiceRequest, ServiceResponse
@@ -22,7 +33,8 @@ __all__ = ["ToleranceTiersService"]
 
 
 class ToleranceTiersService:
-    """Live MLaaS endpoint with Tolerance Tier support.
+    """Deprecated live MLaaS endpoint; use
+    :class:`~repro.service.gateway.gateway.TierGateway` instead.
 
     Args:
         cluster: Deployment hosting a pool for every version the router's
@@ -31,29 +43,25 @@ class ToleranceTiersService:
     """
 
     def __init__(self, cluster: ClusterDeployment, router: TierRouter) -> None:
+        # Imported lazily: repro.core.api loads with repro.core's own
+        # __init__, before the gateway package can (the gateway imports
+        # repro.core submodules).
+        from repro.service.gateway import DirectBackend, TierGateway
+
+        warnings.warn(
+            "ToleranceTiersService is deprecated; use "
+            "TierGateway(DirectBackend(cluster), router=router) instead "
+            "(see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.cluster = cluster
         self.router = router
-        self._validate_versions()
+        self._gateway = TierGateway(DirectBackend(cluster), router=router)
 
-    def _validate_versions(self) -> None:
-        deployed = set(self.cluster.versions)
-        for objective in self.router.objectives:
-            table = self.router.table_for(objective)
-            for configuration in list(table.rules.values()) + [table.baseline]:
-                missing = set(configuration.versions) - deployed
-                if missing:
-                    raise ValueError(
-                        f"configuration {configuration.name!r} needs versions "
-                        f"{sorted(missing)} that the cluster does not deploy"
-                    )
-
-    # ------------------------------------------------------------------
-    # request handling
-    # ------------------------------------------------------------------
     def handle(self, request: ServiceRequest) -> ServiceResponse:
         """Serve one annotated request."""
-        configuration = self.router.route(request.tolerance, request.objective)
-        return self._execute(configuration, request)
+        return self._gateway.handle(request)
 
     def handle_http(
         self,
@@ -61,94 +69,5 @@ class ToleranceTiersService:
         payload: Any,
         headers: Mapping[str, str],
     ) -> ServiceResponse:
-        """Serve a request expressed as HTTP-style headers plus a payload.
-
-        This mirrors the paper's ``curl`` example: the ``Tolerance`` and
-        ``Objective`` headers select the tier.
-        """
-        request = ServiceRequest.from_headers(request_id, payload, headers)
-        return self.handle(request)
-
-    # ------------------------------------------------------------------
-    # policy execution against the live cluster
-    # ------------------------------------------------------------------
-    def _execute(
-        self, configuration: EnsembleConfiguration, request: ServiceRequest
-    ) -> ServiceResponse:
-        policy = configuration.policy
-        if configuration.kind == "single":
-            return self._respond_single(policy.versions[0], request)
-        return self._respond_two_version(configuration, request)
-
-    def _respond_single(
-        self, version: str, request: ServiceRequest
-    ) -> ServiceResponse:
-        result, latency = self.cluster.raw_dispatch(version, request)
-        cost = self.cluster.cost_of({version: latency})
-        return ServiceResponse(
-            request_id=request.request_id,
-            result=result.output,
-            versions_used=(version,),
-            response_time_s=latency,
-            invocation_cost=cost.invocation_cost,
-            tier=request.tolerance,
-            confidence=result.confidence,
-        )
-
-    def _respond_two_version(
-        self, configuration: EnsembleConfiguration, request: ServiceRequest
-    ) -> ServiceResponse:
-        policy = configuration.policy
-        fast_version: str = policy.fast_version
-        accurate_version: str = policy.accurate_version
-        threshold: float = getattr(policy, "confidence_threshold", 0.5)
-        kind = configuration.kind
-
-        fast_result, fast_latency = self.cluster.raw_dispatch(fast_version, request)
-        escalate = fast_result.confidence < threshold
-
-        if not escalate:
-            # Fast result accepted.  Concurrent policies still consumed node
-            # time on the accurate pool; early termination bounds that waste
-            # by the fast latency.
-            node_seconds = {fast_version: fast_latency}
-            if kind == "conc":
-                _, accurate_latency = self.cluster.raw_dispatch(
-                    accurate_version, request
-                )
-                node_seconds[accurate_version] = accurate_latency
-            elif kind == "et":
-                _, accurate_latency = self.cluster.raw_dispatch(
-                    accurate_version, request
-                )
-                node_seconds[accurate_version] = min(accurate_latency, fast_latency)
-            cost = self.cluster.cost_of(node_seconds)
-            return ServiceResponse(
-                request_id=request.request_id,
-                result=fast_result.output,
-                versions_used=tuple(node_seconds.keys()),
-                response_time_s=fast_latency,
-                invocation_cost=cost.invocation_cost,
-                tier=request.tolerance,
-                confidence=fast_result.confidence,
-            )
-
-        accurate_result, accurate_latency = self.cluster.raw_dispatch(
-            accurate_version, request
-        )
-        if kind == "seq":
-            response_time = fast_latency + accurate_latency
-        else:  # conc / et overlap the two executions
-            response_time = max(fast_latency, accurate_latency)
-        cost = self.cluster.cost_of(
-            {fast_version: fast_latency, accurate_version: accurate_latency}
-        )
-        return ServiceResponse(
-            request_id=request.request_id,
-            result=accurate_result.output,
-            versions_used=(fast_version, accurate_version),
-            response_time_s=response_time,
-            invocation_cost=cost.invocation_cost,
-            tier=request.tolerance,
-            confidence=accurate_result.confidence,
-        )
+        """Serve a request expressed as HTTP-style headers plus a payload."""
+        return self._gateway.handle_http(request_id, payload, headers)

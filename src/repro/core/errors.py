@@ -1,0 +1,91 @@
+"""The structured error hierarchy of the Tolerance Tiers serving surface.
+
+Every failure a gateway client can provoke maps to one :class:`TierError`
+subclass, so callers can catch the whole family with one ``except
+TierError`` or discriminate precisely.  Each subclass also inherits the
+built-in exception the pre-gateway code raised for the same condition
+(``ValueError`` for validation failures, ``KeyError``-adjacent lookups are
+normalised to ``ValueError``, ``RuntimeError`` for lifecycle misuse), so
+code written against :class:`~repro.core.api.ToleranceTiersService`' error
+contract keeps working unchanged.
+
+This module is import-cycle-free on purpose: it imports nothing from the
+rest of the package, so the request layer, the executor, the gateway and
+the simulation engine can all share it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BackendCapabilityError",
+    "GatewayClosedError",
+    "MissingVersionError",
+    "PolicyConfigurationError",
+    "RequestFailedError",
+    "RequestValidationError",
+    "ResultPendingError",
+    "TierError",
+    "UnknownObjectiveError",
+    "UnroutableToleranceError",
+]
+
+
+class TierError(Exception):
+    """Base class of every Tolerance Tiers serving error."""
+
+
+class RequestValidationError(TierError, ValueError):
+    """A request's annotation headers could not be parsed or validated."""
+
+
+class UnknownObjectiveError(TierError, ValueError):
+    """The requested objective names no routing-rule table."""
+
+
+class UnroutableToleranceError(TierError, ValueError):
+    """The requested tolerance is invalid (negative, NaN or infinite)."""
+
+
+class MissingVersionError(TierError, ValueError):
+    """A routed configuration needs a version the backend cannot execute."""
+
+
+class PolicyConfigurationError(TierError, ValueError):
+    """An ensemble policy is missing a required parameter.
+
+    The canonical case: a two-version policy without a
+    ``confidence_threshold``.  Earlier code silently substituted ``0.5``;
+    a missing threshold is a deployment bug, not a default.
+    """
+
+
+class RequestFailedError(TierError, RuntimeError):
+    """A request failed terminally inside the execution backend.
+
+    Raised by :meth:`~repro.service.gateway.gateway.TierTicket.result`
+    when a simulated request exhausted its retries or its capacity never
+    recovered.  Carries the backend's per-request record (when available)
+    as :attr:`record`.
+    """
+
+    def __init__(self, message: str, record=None) -> None:
+        super().__init__(message)
+        self.record = record
+
+
+class ResultPendingError(TierError, RuntimeError):
+    """A ticket's result was read before the gateway drained it."""
+
+
+class GatewayClosedError(TierError, RuntimeError):
+    """The gateway session is closed (its backend was already drained)."""
+
+
+class BackendCapabilityError(TierError, RuntimeError):
+    """The operation needs a capability this execution backend lacks.
+
+    For example, :meth:`~repro.service.gateway.gateway.TierGateway.handle`
+    needs a synchronous backend, while
+    :meth:`~repro.service.gateway.gateway.TierGateway.run_load` needs a
+    deferred (simulated) one.
+    """

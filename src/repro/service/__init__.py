@@ -23,6 +23,12 @@ and per node-hour.
 * :mod:`repro.service.simulation` -- the discrete-event serving simulator:
   offered-load arrival processes, per-node FIFO queues, request batching
   and pool autoscaling over the same deployments.
+* :mod:`repro.service.gateway` -- the unified Tolerance Tiers serving
+  gateway: one session-based client API (:class:`TierGateway`) over
+  pluggable execution backends (live dispatch, measurement replay, or the
+  discrete-event simulator).  Imported lazily — ``import
+  repro.service.gateway`` — because it builds on both this package and
+  :mod:`repro.core`.
 """
 
 from repro.service.cluster import ClusterDeployment, NodePool

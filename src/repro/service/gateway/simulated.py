@@ -1,0 +1,209 @@
+"""The deferred execution backend: gateway traffic under the virtual clock.
+
+:class:`SimulatedBackend` plugs the discrete-event engine
+(:class:`~repro.service.simulation.engine.ServingSimulator`) in behind the
+gateway's client API, so submitted requests experience everything the
+engine models — per-node FIFO queues, sublinear batching, pool
+autoscaling, and the full PR 3 fault vocabulary (crashes, stragglers,
+transient windows, retries with backoff).  Tickets resolve when the
+gateway drains; a request the scenario killed resolves with a
+:class:`~repro.core.errors.RequestFailedError` instead of a response.
+
+The backend is single-use, like the engine it wraps: one session's clock,
+records and pool state belong to one load test.
+
+:meth:`SimulatedBackend.from_scenario` inflates the engine-facing half of
+a :class:`~repro.service.simulation.scenarios.ScenarioSpec` (pools,
+batching, autoscaling, faults, retry, seed) against a measurement table —
+routing stays with the gateway, which is the point: the *public API* is
+now the thing a scenario load-tests and fault-injects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.errors import BackendCapabilityError, GatewayClosedError
+from repro.service.cluster import ClusterDeployment
+from repro.service.request import ServiceRequest
+from repro.service.simulation.autoscaler import Autoscaler, AutoscalerConfig
+from repro.service.simulation.batching import BatchingConfig
+from repro.service.simulation.engine import ServingSimulator
+from repro.service.simulation.faults import FaultEvent, RetryPolicy
+from repro.service.simulation.replay import build_replay_cluster
+from repro.service.simulation.report import LoadTestReport
+
+__all__ = ["SimulatedBackend"]
+
+
+class SimulatedBackend:
+    """Execution backend that paces gateway traffic through the engine.
+
+    Args:
+        cluster: The deployment whose queues and pools the session drives.
+        batching: Node-level batching policy; default is unbatched.
+        autoscaler_config: When given, a fresh
+            :class:`~repro.service.simulation.autoscaler.Autoscaler` with
+            this config runs during the session.
+        faults: Timed fault schedule injected on the virtual clock.
+        retry: How failed job attempts are re-driven.
+        check_invariants: Verify the engine's conservation laws at drain
+            time (see :mod:`repro.service.simulation.invariants`).
+        seed: Seed for arrival sampling and fault draws.
+    """
+
+    synchronous = False
+
+    def __init__(
+        self,
+        cluster: ClusterDeployment,
+        *,
+        batching: Optional[BatchingConfig] = None,
+        autoscaler_config: Optional[AutoscalerConfig] = None,
+        faults: Sequence[FaultEvent] = (),
+        retry: Optional[RetryPolicy] = None,
+        check_invariants: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self._batching = batching
+        self._autoscaler_config = autoscaler_config
+        self._faults = tuple(faults)
+        self._retry = retry
+        self._check_invariants = check_invariants
+        self._seed = seed
+        self._simulator: Optional[ServingSimulator] = None
+        self.last_report: Optional[LoadTestReport] = None
+
+    @classmethod
+    def from_scenario(
+        cls,
+        spec,
+        measurements,
+        *,
+        check_invariants: bool = False,
+        selection_policy=None,
+    ) -> "SimulatedBackend":
+        """Build a backend from a scenario spec's engine-facing fields.
+
+        Inflates ``spec.pools`` into a measurement-replay cluster and
+        adopts the spec's batching, autoscaling, fault schedule, retry
+        policy and seed.  The spec's *routing* half
+        (``configuration``/``router``/``tolerance``/``objective``) is
+        deliberately ignored: the gateway owns routing, so the same
+        degraded-mode scenario can load-test whichever tier mix the
+        gateway serves.
+
+        Args:
+            spec: A :class:`~repro.service.simulation.scenarios.ScenarioSpec`.
+            measurements: Measurement table the spec's pools and faults
+                reference.
+            check_invariants: Verify conservation laws at drain time.
+            selection_policy: Within-pool node selection override
+                (join-shortest-queue by default).
+        """
+        cluster = build_replay_cluster(
+            measurements, dict(spec.pools), selection_policy=selection_policy
+        )
+        return cls(
+            cluster,
+            batching=spec.batching,
+            autoscaler_config=spec.autoscaler_config,
+            faults=spec.faults,
+            retry=spec.retry,
+            check_invariants=check_invariants,
+            seed=spec.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # gateway protocol
+    # ------------------------------------------------------------------
+    @property
+    def versions(self) -> Tuple[str, ...]:
+        """Versions the wrapped deployment can serve."""
+        return self.cluster.versions
+
+    def bind(self, *, router=None, configuration=None) -> None:
+        """Attach the gateway's routing decision and build the engine.
+
+        Called once by :class:`~repro.service.gateway.gateway.TierGateway`
+        at construction; the engine needs the router (or fixed
+        configuration) to decide which pools' queues each arrival joins.
+        """
+        if self._simulator is not None:
+            raise GatewayClosedError(
+                "this SimulatedBackend is already bound to a gateway; the "
+                "engine is single-use — build a fresh backend per session"
+            )
+        self._simulator = ServingSimulator(
+            self.cluster,
+            router=router,
+            configuration=configuration,
+            batching=self._batching,
+            autoscaler=(
+                Autoscaler(self._autoscaler_config)
+                if self._autoscaler_config is not None
+                else None
+            ),
+            faults=self._faults,
+            retry=self._retry,
+            check_invariants=self._check_invariants,
+            seed=self._seed,
+        )
+
+    def _engine(self) -> ServingSimulator:
+        if self._simulator is None:
+            raise GatewayClosedError(
+                "this SimulatedBackend is not bound to a gateway yet"
+            )
+        return self._simulator
+
+    def submit(self, request: ServiceRequest, *, at_time: float = 0.0) -> None:
+        """Schedule one request's arrival on the virtual clock."""
+        self._engine().submit(request, at_time=at_time)
+
+    def drain(self) -> LoadTestReport:
+        """Run the event loop until every submitted request resolved."""
+        report = self._engine().drain()
+        self.last_report = report
+        return report
+
+    def run(
+        self,
+        arrivals,
+        n_requests: int,
+        *,
+        tolerance: float = 0.0,
+        objective=None,
+        payload_ids=None,
+    ) -> LoadTestReport:
+        """Generate an offered-load workload and drain it to a report.
+
+        Thin delegation to
+        :meth:`~repro.service.simulation.engine.ServingSimulator.run`, so
+        gateway-driven load tests consume exactly the random draws a
+        directly driven engine would — same seed, same report digest.
+        """
+        kwargs = {"tolerance": tolerance, "payload_ids": payload_ids}
+        if objective is not None:
+            kwargs["objective"] = objective
+        report = self._engine().run(arrivals, n_requests, **kwargs)
+        self.last_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # synchronous protocol (unsupported by design)
+    # ------------------------------------------------------------------
+    def invoke(self, version: str, request: ServiceRequest):
+        """Deferred backends cannot invoke synchronously."""
+        raise BackendCapabilityError(
+            "SimulatedBackend resolves requests at drain time; it cannot "
+            "execute a single invocation synchronously"
+        )
+
+    def cost_of(self, node_seconds):
+        """Billing happens inside the engine, per finalized request."""
+        raise BackendCapabilityError(
+            "SimulatedBackend bills requests inside the engine; price "
+            "node-seconds with the cluster's pricing model instead"
+        )

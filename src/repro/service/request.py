@@ -18,6 +18,7 @@ what they were served.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
@@ -70,6 +71,11 @@ class ServiceRequest:
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.tolerance):
+            raise ValueError(
+                f"tolerance must be finite, got {self.tolerance}; NaN and "
+                "infinite tolerances name no tier"
+            )
         if self.tolerance < 0.0:
             raise ValueError(f"tolerance must be non-negative, got {self.tolerance}")
 
@@ -82,16 +88,39 @@ class ServiceRequest:
     ) -> "ServiceRequest":
         """Build a request from HTTP-style headers.
 
-        Recognised headers (case-insensitive): ``Tolerance`` and
-        ``Objective``; all others are preserved in :attr:`metadata`.
+        Recognised headers (case-insensitive, whitespace-tolerant):
+        ``Tolerance`` and ``Objective``; all others are preserved in
+        :attr:`metadata`.
+
+        Raises:
+            ValueError: If a ``Tolerance`` value is not a number, a
+                recognised header appears more than once (under any
+                casing), or the parsed annotation fails request
+                validation (negative / non-finite tolerance, unknown
+                objective).
         """
         tolerance = 0.0
         objective = Objective.RESPONSE_TIME
         metadata = {}
+        seen = set()
         for key, value in headers.items():
             lowered = key.strip().lower()
+            if lowered in ("tolerance", "objective"):
+                if lowered in seen:
+                    raise ValueError(
+                        f"duplicate {lowered.capitalize()!s} header on "
+                        f"request {request_id!r}; annotation headers must "
+                        "appear exactly once"
+                    )
+                seen.add(lowered)
             if lowered == "tolerance":
-                tolerance = float(value)
+                try:
+                    tolerance = float(value)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"malformed Tolerance header on request "
+                        f"{request_id!r}: {value!r} is not a number"
+                    ) from None
             elif lowered == "objective":
                 objective = Objective.from_header(value)
             else:

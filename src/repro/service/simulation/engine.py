@@ -63,6 +63,11 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.configuration import EnsembleConfiguration
+from repro.core.executor import (
+    early_termination_cap,
+    require_confidence_threshold,
+    should_escalate,
+)
 from repro.core.router import TierRouter
 from repro.service.cluster import ClusterDeployment
 from repro.service.node import NodeCompletion, QueuedRequest, ServiceNode
@@ -127,7 +132,9 @@ class _InFlight:
         else:
             self.fast_version = policy.fast_version
             self.accurate_version = policy.accurate_version
-            self.threshold = getattr(policy, "confidence_threshold", 0.5)
+            # A two-version policy without a threshold is a configuration
+            # error, not a hidden 0.5 default (PolicyConfigurationError).
+            self.threshold = require_confidence_threshold(policy)
         self.fast_completion: Optional[NodeCompletion] = None
         self.accurate_completion: Optional[NodeCompletion] = None
         self.escalated: Optional[bool] = None
@@ -996,7 +1003,9 @@ class ServingSimulator:
             return
 
         if fast is not None and state.escalated is None:
-            state.escalated = fast.result.confidence < state.threshold
+            state.escalated = should_escalate(
+                fast.result.confidence, state.threshold
+            )
 
         if state.kind == "seq":
             self._advance_sequential(state)
@@ -1099,7 +1108,9 @@ class ServingSimulator:
             return
         accurate_seconds = accurate.amortized_seconds
         if state.kind == "et":
-            accurate_seconds = min(accurate_seconds, fast.solo_time_s)
+            accurate_seconds = early_termination_cap(
+                accurate_seconds, fast.solo_time_s
+            )
         self._finalize(
             state,
             end=fast.finished_at,
@@ -1147,6 +1158,15 @@ class ServingSimulator:
         node_seconds: Dict[str, float],
         lead: Optional[NodeCompletion] = None,
     ) -> None:
+        # The completion whose result answers the consumer: the explicit
+        # lead (degraded accurate-only fallback), else the accurate result
+        # for an escalated request, else the fast one.
+        answer = lead
+        if answer is None:
+            if state.escalated and state.accurate_completion is not None:
+                answer = state.accurate_completion
+            else:
+                answer = state.fast_completion
         lead = lead or state.fast_completion
         escalated = bool(state.escalated)
         cost = self.cluster.cost_of(node_seconds)
@@ -1165,6 +1185,10 @@ class ServingSimulator:
                 node_seconds=dict(node_seconds),
                 failed=False,
                 retries=state.retries,
+                result=answer.result.output if answer is not None else None,
+                confidence=(
+                    answer.result.confidence if answer is not None else None
+                ),
             )
         )
         if self._check is not None:

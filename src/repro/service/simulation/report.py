@@ -60,6 +60,12 @@ class RequestRecord:
             exhausted, or capacity never recovered).
         retries: Number of re-driven job attempts across the request's
             versions (``0`` on a healthy run).
+        result: The answering version's output (``None`` for a failed
+            request).  Excluded from :meth:`LoadTestReport.digest` —
+            outputs can be arbitrary objects; behaviour is pinned by the
+            routing/billing fields above.
+        confidence: The answering version's confidence (``None`` for a
+            failed request).
     """
 
     request_id: str
@@ -75,6 +81,8 @@ class RequestRecord:
     node_seconds: Dict[str, float] = field(default_factory=dict)
     failed: bool = False
     retries: int = 0
+    result: object = None
+    confidence: Optional[float] = None
 
 
 @dataclass

@@ -1,0 +1,139 @@
+"""The per-request executor is the oracle for the vectorized policies.
+
+``PolicyExecutor`` over a ``ReplayBackend`` executes one request at a time
+with the canonical escalation/latency/billing semantics; the policies in
+:mod:`repro.core.policies` evaluate whole measurement sets as numpy column
+operations (the rule generator's hot path).  These tests pin the two
+implementations bit-identical on every request of a toy measurement table,
+for all four configuration kinds — exactly the equivalence the rule
+generator's guarantees rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import EnsembleConfiguration
+from repro.core.executor import PolicyExecutor
+from repro.core.metrics import build_pricing
+from repro.core.policies import (
+    ConcurrentPolicy,
+    EarlyTerminationPolicy,
+    SequentialPolicy,
+    SingleVersionPolicy,
+)
+from repro.service.gateway import ReplayBackend
+from repro.service.request import ServiceRequest
+from repro.service.simulation.scenarios import scenario_measurements
+
+THRESHOLD = 0.6
+
+CONFIGURATIONS = {
+    "single": EnsembleConfiguration("cfg_single", SingleVersionPolicy("slow")),
+    "seq": EnsembleConfiguration(
+        "cfg_seq", SequentialPolicy("fast", "slow", THRESHOLD)
+    ),
+    "conc": EnsembleConfiguration(
+        "cfg_conc", ConcurrentPolicy("fast", "slow", THRESHOLD)
+    ),
+    "et": EnsembleConfiguration(
+        "cfg_et", EarlyTerminationPolicy("fast", "slow", THRESHOLD)
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return scenario_measurements(n_requests=60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def pricing(measurements):
+    return build_pricing(measurements)
+
+
+@pytest.mark.parametrize("kind", sorted(CONFIGURATIONS))
+def test_executor_matches_vectorized_policy(kind, measurements, pricing):
+    configuration = CONFIGURATIONS[kind]
+    executor = PolicyExecutor(ReplayBackend(measurements, pricing=pricing))
+    vectorized = configuration.policy.evaluate(measurements)
+
+    for row, request_id in enumerate(measurements.request_ids):
+        outcome = executor.execute(
+            configuration,
+            ServiceRequest(request_id=request_id, payload=request_id),
+        )
+        assert outcome.escalated == bool(vectorized.escalated[row])
+        assert outcome.error == vectorized.error[row]
+        assert outcome.response_time_s == vectorized.response_time_s[row]
+        for version in configuration.versions:
+            assert outcome.node_seconds.get(version, 0.0) == (
+                vectorized.node_seconds[version][row]
+            )
+        # The executor bills through the same pricing model the metrics
+        # layer uses; per-request cost must agree with pricing the
+        # vectorized node-seconds directly.
+        reference_cost = pricing.request_cost(
+            {
+                version: float(vectorized.node_seconds[version][row])
+                for version in configuration.versions
+                if vectorized.node_seconds[version][row] > 0.0
+                or version in outcome.node_seconds
+            }
+        )
+        assert outcome.invocation_cost == reference_cost.invocation_cost
+
+
+def test_executor_escalation_rate_matches(measurements):
+    """Aggregate behaviour agrees too (sanity over the toy table)."""
+    configuration = CONFIGURATIONS["seq"]
+    executor = PolicyExecutor(ReplayBackend(measurements))
+    escalated = [
+        executor.execute(
+            configuration, ServiceRequest(request_id=rid, payload=rid)
+        ).escalated
+        for rid in measurements.request_ids
+    ]
+    vectorized = configuration.policy.evaluate(measurements)
+    assert float(np.mean(escalated)) == vectorized.escalation_rate()
+
+
+def test_replay_backend_rejects_unmeasured_payload(measurements):
+    from repro.core.errors import RequestValidationError, TierError
+
+    executor = PolicyExecutor(ReplayBackend(measurements))
+    with pytest.raises(RequestValidationError, match="measured request id"):
+        executor.execute(
+            CONFIGURATIONS["single"],
+            ServiceRequest(request_id="r", payload="no_such_id"),
+        )
+    # Part of the typed hierarchy, and still a ValueError for old callers.
+    with pytest.raises(TierError):
+        executor.execute(
+            CONFIGURATIONS["single"],
+            ServiceRequest(request_id="r", payload=None),
+        )
+
+
+def test_executor_answers_with_accurate_result_on_escalation(measurements):
+    """The answering output/confidence flips to the accurate version."""
+    configuration = CONFIGURATIONS["seq"]
+    executor = PolicyExecutor(ReplayBackend(measurements))
+    fast_conf = measurements.confidence[:, measurements.version_index("fast")]
+    slow_conf = measurements.confidence[:, measurements.version_index("slow")]
+    escalating = int(np.argmin(fast_conf))
+    confident = int(np.argmax(fast_conf))
+    assert fast_conf[escalating] < THRESHOLD <= fast_conf[confident]
+
+    rid = measurements.request_ids[escalating]
+    outcome = executor.execute(
+        configuration, ServiceRequest(request_id=rid, payload=rid)
+    )
+    assert outcome.confidence == float(slow_conf[escalating])
+    assert outcome.versions_used == ("fast", "slow")
+
+    rid = measurements.request_ids[confident]
+    outcome = executor.execute(
+        configuration, ServiceRequest(request_id=rid, payload=rid)
+    )
+    assert outcome.confidence == float(fast_conf[confident])
+    assert outcome.versions_used == ("fast",)

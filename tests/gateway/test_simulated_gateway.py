@@ -1,0 +1,190 @@
+"""Gateway traffic through the virtual-clock engine, faults included.
+
+Two contracts are pinned here:
+
+* **Determinism** — a gateway-driven load test over
+  ``SimulatedBackend.from_scenario`` produces exactly the report a direct
+  :func:`~repro.service.simulation.scenarios.run_scenario` call does
+  (byte-identical digest), under a PR 3 fault scenario with the
+  conservation-law invariant checker enabled.  The public API *is* the
+  load-test surface now, at zero behavioural drift.
+* **Session semantics** — explicit ``submit``/``drain`` sessions resolve
+  tickets from the engine's records: successful requests carry the
+  answering result and confidence, requests the scenario killed raise
+  :class:`~repro.core.errors.RequestFailedError`, and the session is
+  single-use.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import EnsembleConfiguration
+from repro.core.errors import (
+    BackendCapabilityError,
+    GatewayClosedError,
+    RequestFailedError,
+    ResultPendingError,
+)
+from repro.core.policies import SequentialPolicy
+from repro.service.gateway import SimulatedBackend, TierGateway
+from repro.service.request import ServiceRequest
+from repro.service.simulation import NodeCrash, build_replay_cluster
+from repro.service.simulation.scenarios import (
+    canonical_scenarios,
+    run_scenario,
+    scenario_measurements,
+)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return scenario_measurements()
+
+
+class TestScenarioDeterminism:
+    @pytest.mark.parametrize("name", ["node-crash", "flaky", "baseline"])
+    def test_gateway_load_matches_run_scenario(self, name, measurements):
+        spec = canonical_scenarios()[name]
+        reference = run_scenario(spec, measurements, check_invariants=True)
+
+        backend = SimulatedBackend.from_scenario(
+            spec, measurements, check_invariants=True
+        )
+        gateway = TierGateway(backend, configuration=spec.configuration)
+        report = gateway.run_load(
+            spec.arrivals,
+            spec.n_requests,
+            tolerance=spec.tolerance,
+            objective=spec.objective,
+            payload_ids=measurements.request_ids,
+        )
+        assert report.digest() == reference.digest()
+        assert backend.last_report is report
+
+    def test_run_load_closes_the_session(self, measurements):
+        spec = canonical_scenarios()["baseline"]
+        gateway = TierGateway(
+            SimulatedBackend.from_scenario(spec, measurements),
+            configuration=spec.configuration,
+        )
+        gateway.run_load(
+            spec.arrivals,
+            spec.n_requests,
+            tolerance=spec.tolerance,
+            payload_ids=measurements.request_ids,
+        )
+        with pytest.raises(GatewayClosedError):
+            gateway.submit(ServiceRequest(request_id="late", payload="r000"))
+
+    def test_run_load_refuses_a_dirty_session(self, measurements):
+        spec = canonical_scenarios()["baseline"]
+        gateway = TierGateway(
+            SimulatedBackend.from_scenario(spec, measurements),
+            configuration=spec.configuration,
+        )
+        gateway.submit(
+            ServiceRequest(request_id="r", payload="r000"), at_time=0.0
+        )
+        with pytest.raises(GatewayClosedError, match="fresh session"):
+            gateway.run_load(
+                spec.arrivals, 5, payload_ids=measurements.request_ids
+            )
+
+
+def _session(measurements, *, faults=(), payloads, check_invariants=True):
+    """A submit/drain gateway session over a seq(fast, slow, 0.6) tier."""
+    cluster = build_replay_cluster(measurements, {"fast": 1, "slow": 1})
+    backend = SimulatedBackend(
+        cluster, faults=faults, check_invariants=check_invariants, seed=5
+    )
+    gateway = TierGateway(
+        backend,
+        configuration=EnsembleConfiguration(
+            "cfg_seq", SequentialPolicy("fast", "slow", 0.6)
+        ),
+    )
+    tickets = [
+        gateway.submit(
+            ServiceRequest(request_id=f"c{i:02d}", payload=payload),
+            at_time=0.1 * i,
+        )
+        for i, payload in enumerate(payloads)
+    ]
+    return gateway, tickets
+
+
+def _split_payloads(measurements):
+    """Measured ids whose fast confidence clears / misses the 0.6 gate."""
+    fast_conf = measurements.confidence[:, measurements.version_index("fast")]
+    confident = measurements.request_ids[int(np.argmax(fast_conf))]
+    escalating = measurements.request_ids[int(np.argmin(fast_conf))]
+    assert fast_conf[int(np.argmax(fast_conf))] >= 0.6
+    assert fast_conf[int(np.argmin(fast_conf))] < 0.6
+    return confident, escalating
+
+
+class TestSubmitDrainSession:
+    def test_healthy_session_resolves_all_tickets(self, measurements):
+        confident, escalating = _split_payloads(measurements)
+        gateway, tickets = _session(
+            measurements, payloads=[confident, escalating, confident]
+        )
+        assert not any(t.done for t in tickets)
+        with pytest.raises(ResultPendingError):
+            tickets[0].result()
+
+        responses = gateway.drain()
+        assert len(responses) == 3
+        assert all(t.ok for t in tickets)
+        # The confident request answered from the fast version; the
+        # escalated one answered with the accurate result.
+        assert tickets[0].result().versions_used == ("fast",)
+        assert tickets[1].result().versions_used == ("fast", "slow")
+        assert tickets[1].result().confidence == pytest.approx(0.95)
+        # Replay versions echo the measured payload as the output.
+        assert tickets[0].result().result == confident
+        assert tickets[0].result().response_time_s > 0.0
+        assert all(r.invocation_cost > 0.0 for r in responses)
+
+    def test_fault_scenario_fails_escalated_tickets(self, measurements):
+        confident, escalating = _split_payloads(measurements)
+        # The accurate pool dies before anything completes and never
+        # recovers: escalated requests park forever and fail at drain;
+        # confident fast answers survive.
+        gateway, tickets = _session(
+            measurements,
+            faults=(NodeCrash(at_s=0.01, version="slow", node_index=0),),
+            payloads=[confident, escalating, confident, escalating],
+        )
+        responses = gateway.drain()
+
+        survivors = [tickets[0], tickets[2]]
+        casualties = [tickets[1], tickets[3]]
+        assert all(t.ok for t in survivors)
+        assert all(t.done and not t.ok for t in casualties)
+        for ticket in casualties:
+            with pytest.raises(RequestFailedError) as excinfo:
+                ticket.result()
+            assert excinfo.value.record is not None
+            assert excinfo.value.record.failed
+        assert {r.request_id for r in responses} == {
+            t.request.request_id for t in survivors
+        }
+        report = gateway.backend.last_report
+        assert report.n_failed == 2
+        assert report.availability == pytest.approx(0.5)
+
+    def test_session_is_single_use(self, measurements):
+        confident, _ = _split_payloads(measurements)
+        gateway, _tickets = _session(measurements, payloads=[confident])
+        gateway.drain()
+        with pytest.raises(GatewayClosedError):
+            gateway.drain()
+        with pytest.raises(GatewayClosedError):
+            gateway.submit(ServiceRequest(request_id="x", payload=confident))
+
+    def test_handle_refused_on_simulated_backend(self, measurements):
+        confident, _ = _split_payloads(measurements)
+        gateway, _tickets = _session(measurements, payloads=[confident])
+        with pytest.raises(BackendCapabilityError, match="synchronous"):
+            gateway.handle(ServiceRequest(request_id="x", payload=confident))

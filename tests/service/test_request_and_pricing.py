@@ -44,6 +44,66 @@ class TestServiceRequest:
         assert request.tolerance == 0.0
         assert request.objective is Objective.RESPONSE_TIME
 
+    @pytest.mark.parametrize("tolerance", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite_tolerance(self, tolerance):
+        with pytest.raises(ValueError, match="finite"):
+            ServiceRequest(request_id="r1", payload=None, tolerance=tolerance)
+
+    @pytest.mark.parametrize(
+        "key", ["Tolerance", "tolerance", "TOLERANCE", "  ToLeRaNcE  "]
+    )
+    def test_from_headers_key_case_and_whitespace(self, key):
+        request = ServiceRequest.from_headers("r4", None, {key: "0.05"})
+        assert request.tolerance == pytest.approx(0.05)
+        # The recognised header is consumed, never echoed into metadata.
+        assert request.metadata == {}
+
+    def test_from_headers_value_whitespace(self):
+        request = ServiceRequest.from_headers(
+            "r4", None, {"Tolerance": "  0.05  ", "Objective": "  Cost "}
+        )
+        assert request.tolerance == pytest.approx(0.05)
+        assert request.objective is Objective.COST
+
+    def test_from_headers_malformed_tolerance_names_the_header(self):
+        with pytest.raises(ValueError, match="Tolerance header"):
+            ServiceRequest.from_headers("r5", None, {"Tolerance": "abc"})
+        with pytest.raises(ValueError, match="Tolerance header"):
+            ServiceRequest.from_headers("r5", None, {"Tolerance": ""})
+        with pytest.raises(ValueError, match="Tolerance header"):
+            ServiceRequest.from_headers("r5", None, {"Tolerance": None})
+
+    @pytest.mark.parametrize("value", ["nan", "inf", "-inf", "-0.5"])
+    def test_from_headers_rejects_unroutable_tolerances(self, value):
+        # Parses as a float, but fails request validation.
+        with pytest.raises(ValueError):
+            ServiceRequest.from_headers("r6", None, {"Tolerance": value})
+
+    @pytest.mark.parametrize(
+        "headers",
+        [
+            {"Tolerance": "0.01", " tolerance ": "0.05"},
+            {"Objective": "cost", "OBJECTIVE": "response-time"},
+        ],
+    )
+    def test_from_headers_rejects_duplicate_annotation_headers(self, headers):
+        with pytest.raises(ValueError, match="duplicate"):
+            ServiceRequest.from_headers("r7", None, headers)
+
+    def test_from_headers_metadata_passthrough_preserves_casing(self):
+        headers = {
+            "Tolerance": "0.01",
+            "X-Consumer": "app-7",
+            "x-trace-id": "abc123",
+            "Deadline-Propagation": "off",
+        }
+        request = ServiceRequest.from_headers("r8", None, headers)
+        assert request.metadata == {
+            "X-Consumer": "app-7",
+            "x-trace-id": "abc123",
+            "Deadline-Propagation": "off",
+        }
+
 
 class TestInstanceCatalog:
     def test_known_types(self):
