@@ -27,11 +27,17 @@ import sys
 from pathlib import Path
 
 #: (section, metric) pairs compared, with direction: +1 means larger is
-#: better (throughput), -1 means smaller is better (wall time).
+#: better (throughput), -1 means smaller is better (wall time).  The
+#: ``control_plane`` metrics are deterministic simulation outputs, not
+#: timings: any delta at all is a behaviour change in the closed loop,
+#: so the same advisory gate doubles as a behavioural drift detector.
 METRICS = (
     ("rule_generator", "trials_per_s", +1),
     ("policy_evaluation", "rows_per_s", +1),
     ("serving_simulator", "requests_per_s", +1),
+    ("control_plane", "goodput_rps", +1),
+    ("control_plane", "p95_latency_s", -1),
+    ("control_plane", "node_seconds", -1),
 )
 
 

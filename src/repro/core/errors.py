@@ -22,6 +22,7 @@ __all__ = [
     "MissingVersionError",
     "PolicyConfigurationError",
     "RequestFailedError",
+    "RequestShedError",
     "RequestValidationError",
     "ResultPendingError",
     "TierError",
@@ -71,6 +72,21 @@ class RequestFailedError(TierError, RuntimeError):
     def __init__(self, message: str, record=None) -> None:
         super().__init__(message)
         self.record = record
+
+
+class RequestShedError(RequestFailedError):
+    """A request was shed by admission control before it was served.
+
+    Raised by :meth:`~repro.service.gateway.gateway.TierTicket.result`
+    when the control plane's admission controller dropped the request
+    under an SLO breach.  A shed ticket resolves the moment the shed is
+    known — it never hangs a :meth:`drain`.  Subclasses
+    :class:`RequestFailedError`, so callers handling terminal failures
+    handle sheds too; discriminate with ``except RequestShedError``
+    first when shed traffic deserves a different retry story (it does:
+    the request was never attempted, so an immediate client-side retry
+    against a healthier replica is safe).
+    """
 
 
 class ResultPendingError(TierError, RuntimeError):

@@ -1,0 +1,359 @@
+"""The control plane: telemetry + SLO monitors + admission + adaptation.
+
+:class:`ControlSpec` is the declarative half — a frozen value a
+:class:`~repro.service.simulation.scenarios.ScenarioSpec` can embed, so a
+closed-loop load test is as reproducible and comparable as an open-loop
+one.  :class:`ControlPlane` is the live half: the engine (or a
+synchronous gateway) feeds it per-request records and consults it
+
+* once per arrival (:meth:`ControlPlane.admit` — shed / degrade /
+  admit, by the configured admission policy, only while the SLO
+  aggregate is in BREACH), and
+* once per control tick (:meth:`ControlPlane.on_tick` — snapshot the
+  telemetry window, fold every SLO monitor, and ask the policy adaptor
+  whether the executor should hot-swap onto a re-fit configuration).
+
+The plane is deterministic by construction: its only randomness is the
+admission controller's dedicated seeded stream (consumed only under
+BREACH), every monitor is a pure state machine, and adaptor re-fit
+seeds derive from the plane seed — so a closed-loop scenario digests
+identically run after run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.configuration import EnsembleConfiguration
+from repro.service.control.admission import (
+    ADMIT,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionSpec,
+)
+from repro.service.control.adaptor import AdaptorConfig, PolicyAdaptor
+from repro.service.control.slo import (
+    SLOMonitor,
+    SLOSpec,
+    SLOState,
+    worst_state,
+)
+from repro.service.control.telemetry import (
+    MIN_PERCENTILE_SAMPLES,
+    TelemetryHub,
+    WindowSnapshot,
+)
+from repro.service.request import ServiceRequest
+
+__all__ = [
+    "ControlLogEntry",
+    "ControlPlane",
+    "ControlSpec",
+    "default_control_spec",
+]
+
+
+@dataclass(frozen=True)
+class ControlLogEntry:
+    """One control-plane action, recorded in the load-test report.
+
+    Entries participate in :meth:`LoadTestReport.digest`, pinning
+    closed-loop behaviour exactly as fault entries pin fault behaviour.
+
+    Attributes:
+        time_s: Virtual time of the action.
+        kind: ``"slo"`` (state transition), ``"swap"``,
+            ``"swap-declined"``, ``"anchor-restore"``, ``"rollback"``,
+            or one of the ``"refit-*"`` non-swap outcomes (``nochange``
+            / ``noimprove`` / ``rejected`` / ``skipped``).
+        detail: Human-readable context (deterministic for a fixed run).
+    """
+
+    time_s: float
+    kind: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class ControlSpec:
+    """Declarative closed-loop control for one scenario.
+
+    Attributes:
+        window_s: Trailing telemetry window length.
+        tick_interval_s: Cadence of SLO evaluation / adaptation on the
+            virtual clock.
+        slos: The service-level objectives monitored continuously.
+        admission: Admission (load-shedding) policy; ``None`` admits
+            everything.
+        adaptor: Online tier-policy adaptation; ``None`` keeps the
+            deployed policy static.
+        min_percentile_samples: Small-N guard threshold for windowed
+            percentiles.
+    """
+
+    window_s: float = 10.0
+    tick_interval_s: float = 0.5
+    slos: Tuple[SLOSpec, ...] = ()
+    admission: Optional[AdmissionSpec] = None
+    adaptor: Optional[AdaptorConfig] = None
+    min_percentile_samples: int = MIN_PERCENTILE_SAMPLES
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0.0:
+            raise ValueError("window_s must be positive")
+        if self.tick_interval_s <= 0.0:
+            raise ValueError("tick_interval_s must be positive")
+        if (self.admission is not None or self.adaptor is not None) and not self.slos:
+            raise ValueError(
+                "admission control and adaptation react to SLO state; "
+                "declare at least one SLOSpec"
+            )
+
+
+class ControlPlane:
+    """Live control loop for one serving session.
+
+    Build one per run (its monitors, window and RNG are stateful), most
+    conveniently via :meth:`from_spec`.  The engine integration is
+    intentionally narrow — three methods and one attribute — so the
+    engine never imports this package:
+
+    * :attr:`tick_interval_s`
+    * :meth:`admit` per arrival,
+    * :meth:`observe` per finalized record (an event hook:
+      the same ``callable(record, now)`` shape as
+      :meth:`~repro.service.control.telemetry.TelemetryHub.publish`),
+    * :meth:`on_tick` per control tick, returning an optional
+      configuration to hot-swap onto.
+    """
+
+    def __init__(
+        self,
+        spec: ControlSpec,
+        *,
+        hub: Optional[TelemetryHub] = None,
+        controller: Optional[AdmissionController] = None,
+        adaptor: Optional[PolicyAdaptor] = None,
+    ) -> None:
+        self.spec = spec
+        self.hub = hub if hub is not None else TelemetryHub(
+            spec.window_s,
+            min_percentile_samples=spec.min_percentile_samples,
+        )
+        self.monitors = [SLOMonitor(s) for s in spec.slos]
+        self.controller = controller
+        self.adaptor = adaptor
+        self.state = SLOState.OK
+        self.log: List[ControlLogEntry] = []
+        self.last_snapshot: Optional[WindowSnapshot] = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ControlSpec,
+        *,
+        measurements=None,
+        configuration: Optional[EnsembleConfiguration] = None,
+        router=None,
+        seed: int = 0,
+        deployed_versions=None,
+    ) -> "ControlPlane":
+        """Inflate a declarative spec into a live plane.
+
+        Args:
+            spec: The declarative control configuration.
+            measurements: Measurement table the adaptor re-fits on
+                (required when ``spec.adaptor`` is set).
+            configuration: The deployed configuration — the adaptor's
+                anchor (required when ``spec.adaptor`` is set).
+            router: The deployed router, for router-based scenarios.
+                Adaptation over routers is not supported yet; admission
+                and telemetry are.
+            seed: Seed for the admission RNG and re-fit seeds.
+            deployed_versions: Versions the deployment actually hosts.
+                The adaptor's candidate space (and its degradation
+                baseline) is restricted to them — a measurement table
+                usually covers more versions than any one deployment,
+                and a re-fit must never pick an ensemble the cluster
+                cannot serve.
+        """
+        controller = None
+        if spec.admission is not None:
+            controller = AdmissionController(
+                spec.admission,
+                rng=np.random.default_rng([seed, 0xAD41]),
+            )
+        adaptor = None
+        if spec.adaptor is not None:
+            if router is not None or configuration is None:
+                raise ValueError(
+                    "the policy adaptor anchors on a fixed configuration; "
+                    "router-based deployments support admission control "
+                    "and telemetry, not adaptation"
+                )
+            if measurements is None:
+                raise ValueError(
+                    "the policy adaptor re-fits on measurements; pass the "
+                    "scenario's measurement table"
+                )
+            if deployed_versions is not None:
+                deployed = set(deployed_versions)
+                missing = set(configuration.versions) - deployed
+                if missing:
+                    raise ValueError(
+                        f"anchor configuration {configuration.config_id!r} "
+                        f"uses undeployed version(s) {sorted(missing)}"
+                    )
+                kept = [v for v in measurements.versions if v in deployed]
+                if set(kept) != set(measurements.versions):
+                    measurements = measurements.restrict_versions(kept)
+            adaptor = PolicyAdaptor(
+                spec.adaptor,
+                measurements=measurements,
+                anchor=configuration,
+                seed=seed,
+            )
+        return cls(spec, controller=controller, adaptor=adaptor)
+
+    # ------------------------------------------------------------------
+    # engine-facing protocol
+    # ------------------------------------------------------------------
+    @property
+    def tick_interval_s(self) -> float:
+        """Control-tick cadence on the caller's clock."""
+        return self.spec.tick_interval_s
+
+    def admit(
+        self,
+        request: ServiceRequest,
+        now: float,
+        *,
+        planned: EnsembleConfiguration,
+    ) -> AdmissionDecision:
+        """Decide one arriving request (admit / shed / degrade)."""
+        if self.controller is None:
+            return ADMIT
+        return self.controller.decide(request, state=self.state, planned=planned)
+
+    def observe(self, record, now: Optional[float] = None) -> None:
+        """Fold one finalized request record into the telemetry window."""
+        self.hub.publish(record, now)
+
+    def on_tick(self, now: float) -> Optional[EnsembleConfiguration]:
+        """Evaluate SLOs and adaptation; maybe return a hot-swap target."""
+        snapshot = self.hub.snapshot(now)
+        self.last_snapshot = snapshot
+        for monitor in self.monitors:
+            status = monitor.evaluate(snapshot)
+            if status.transitioned:
+                pressures = ",".join(
+                    f"{metric}={ratio:.3f}"
+                    for metric, ratio in sorted(status.pressures.items())
+                )
+                self.log.append(
+                    ControlLogEntry(
+                        now,
+                        "slo",
+                        f"{status.name}: -> {status.state.value}"
+                        + (f" ({pressures})" if pressures else "")
+                        + (" [small-N guard]" if status.guarded else ""),
+                    )
+                )
+        self.state = worst_state(m.state for m in self.monitors)
+        if self.adaptor is None:
+            return None
+        swap = self.adaptor.on_tick(snapshot, self.state, now)
+        for event in self.adaptor.drain_events():
+            self.log.append(ControlLogEntry(now, event.kind, event.detail))
+        return swap
+
+    # Synchronous gateways have no scheduled ticks; they pump the loop
+    # opportunistically after each completion.
+    pump = on_tick
+
+    def decline_swap(self, configuration, now: float) -> None:
+        """The executor refused a swap returned by :meth:`on_tick`.
+
+        Restores the adaptor's active-policy bookkeeping (and blacklists
+        the configuration) so later rollback judgements and cost
+        comparisons track the policy actually serving.
+        """
+        if self.adaptor is None:
+            return
+        self.adaptor.decline(configuration)
+        for event in self.adaptor.drain_events():
+            self.log.append(ControlLogEntry(now, event.kind, event.detail))
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    @property
+    def n_shed(self) -> int:
+        """Requests shed by admission control so far."""
+        return self.controller.n_shed if self.controller is not None else 0
+
+    @property
+    def n_degraded(self) -> int:
+        """Requests force-degraded by admission control so far."""
+        return self.controller.n_degraded if self.controller is not None else 0
+
+
+def default_control_spec(
+    *,
+    p95_target_s: float = 1.0,
+    min_availability: float = 0.7,
+    admission: Optional[str] = "probabilistic",
+    adaptive: bool = True,
+    window_s: float = 8.0,
+    tick_interval_s: float = 0.5,
+) -> ControlSpec:
+    """A closed-loop control spec tuned for the canonical toy scenarios.
+
+    The defaults match :func:`~repro.service.simulation.scenarios.scenario_measurements`
+    geometry: the seq(fast, slow, 0.6) tier mix answers in ~0.05–0.45 s
+    when healthy, so a 1 s p95 ceiling separates "queueing" from
+    "degraded".  The adaptor widens in *absolute* error-degradation
+    units (the toy baseline error is near zero, which makes relative
+    degradation numerically wild).
+
+    Args:
+        p95_target_s: Whole-stream p95 ceiling.
+        min_availability: Whole-stream availability floor.
+        admission: Admission policy name, or ``None`` for monitor-only.
+        adaptive: Whether to enable the online policy adaptor.
+        window_s: Telemetry window length.
+        tick_interval_s: Control-tick cadence.
+    """
+    slos = (
+        SLOSpec(
+            name="latency",
+            max_p95_latency_s=p95_target_s,
+            breach_after=2,
+            clear_after=4,
+        ),
+        SLOSpec(
+            name="availability",
+            min_availability=min_availability,
+            breach_after=2,
+            clear_after=4,
+        ),
+    )
+    return ControlSpec(
+        window_s=window_s,
+        tick_interval_s=tick_interval_s,
+        slos=slos,
+        admission=AdmissionSpec(policy=admission) if admission else None,
+        adaptor=AdaptorConfig(
+            refit_interval_s=2.0,
+            min_window_samples=20,
+            degradation_mode="absolute",
+            tolerance_step=0.06,
+            max_tolerance=0.30,
+            thresholds=(0.3, 0.4, 0.5, 0.6, 0.7),
+        )
+        if adaptive
+        else None,
+    )

@@ -1,0 +1,243 @@
+"""Declarative SLOs evaluated continuously into OK / WARN / BREACH.
+
+An :class:`SLOSpec` states what one tier (or the whole request stream)
+was promised — a p95 latency ceiling, an availability floor, a billed
+cost ceiling — and :class:`SLOMonitor` folds each telemetry window
+snapshot into a debounced :class:`SLOState`:
+
+* raw evaluation: each declared target becomes a *pressure ratio*
+  (observed / target for ceilings, target / observed for floors), so
+  ``> 1`` means the target is violated and ``warn_ratio <= r <= 1``
+  means it is close;
+* **small-N guard**: a violated percentile target whose windowed
+  estimate is flagged low-confidence (fewer than the guard threshold of
+  samples) is capped at WARN — a p95 ranked over a handful of requests
+  is quantile noise, not breach evidence;
+* **hysteresis**: BREACH is entered only after ``breach_after``
+  consecutive violating evaluations and left only after ``clear_after``
+  consecutive clean ones, so a single noisy window neither trips nor
+  clears load shedding.
+
+Monitors are pure state machines over snapshots: no randomness, no
+clock of their own — evaluating the same snapshot sequence always walks
+the same states, which keeps closed-loop simulations bit-deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.service.control.telemetry import WindowSnapshot
+
+__all__ = ["SLOMonitor", "SLOSpec", "SLOState", "SLOStatus"]
+
+
+class SLOState(enum.Enum):
+    """Debounced health of one SLO."""
+
+    OK = "ok"
+    WARN = "warn"
+    BREACH = "breach"
+
+
+#: Severity order for aggregating many monitors into one plane state.
+_SEVERITY = {SLOState.OK: 0, SLOState.WARN: 1, SLOState.BREACH: 2}
+
+
+def worst_state(states) -> SLOState:
+    """The most severe of a collection of states (OK when empty)."""
+    worst = SLOState.OK
+    for state in states:
+        if _SEVERITY[state] > _SEVERITY[worst]:
+            worst = state
+    return worst
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """What one service-level objective promises.
+
+    At least one target must be declared.  ``tier`` scopes the SLO to
+    one tolerance tier's slice of the telemetry window; ``None`` covers
+    the whole stream.
+
+    Attributes:
+        name: Identifier used in statuses and the control log.
+        tier: Tolerance tier the SLO covers, or ``None`` for all.
+        max_p95_latency_s: Ceiling on windowed p95 response time.
+        min_availability: Floor on the windowed answered fraction of
+            *admitted* requests.  Sheds are deliberately excluded: the
+            monitor's breach state is what triggers shedding, and a
+            controller whose remedy counts against its own trigger
+            latches into shedding healthy traffic forever.
+        max_cost_per_request: Ceiling on windowed mean billed cost.
+        warn_ratio: Pressure ratio at which WARN begins (``0.9`` warns
+            once a metric is within 10 % of its target).
+        breach_after: Consecutive violating evaluations needed to enter
+            BREACH.
+        clear_after: Consecutive clean evaluations needed to leave it.
+    """
+
+    name: str
+    tier: Optional[float] = None
+    max_p95_latency_s: Optional[float] = None
+    min_availability: Optional[float] = None
+    max_cost_per_request: Optional[float] = None
+    warn_ratio: float = 0.9
+    breach_after: int = 2
+    clear_after: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an SLO needs a name")
+        targets = (
+            self.max_p95_latency_s,
+            self.min_availability,
+            self.max_cost_per_request,
+        )
+        if all(t is None for t in targets):
+            raise ValueError(f"SLO {self.name!r} declares no target")
+        for label, value in (
+            ("max_p95_latency_s", self.max_p95_latency_s),
+            ("max_cost_per_request", self.max_cost_per_request),
+        ):
+            if value is not None and value <= 0.0:
+                raise ValueError(f"{label} must be positive")
+        if self.min_availability is not None and not (
+            0.0 < self.min_availability <= 1.0
+        ):
+            raise ValueError("min_availability must be in (0, 1]")
+        if not 0.0 < self.warn_ratio <= 1.0:
+            raise ValueError("warn_ratio must be in (0, 1]")
+        if self.breach_after < 1 or self.clear_after < 1:
+            raise ValueError("breach_after / clear_after must be at least 1")
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One monitor's verdict on one snapshot.
+
+    Attributes:
+        name: The SLO's name.
+        state: Debounced state after this evaluation.
+        raw_state: Undebounced verdict of this snapshot alone.
+        pressures: Pressure ratio per violated-or-watched metric
+            (``> 1`` violates; metrics without data are absent).
+        guarded: True when a violating percentile was capped at WARN by
+            the small-N guard.
+        transitioned: True when ``state`` changed on this evaluation.
+    """
+
+    name: str
+    state: SLOState
+    raw_state: SLOState
+    pressures: Dict[str, float]
+    guarded: bool
+    transitioned: bool
+
+
+class SLOMonitor:
+    """Debounced evaluation of one :class:`SLOSpec` over snapshots."""
+
+    def __init__(self, spec: SLOSpec) -> None:
+        self.spec = spec
+        self.state = SLOState.OK
+        self._violating_streak = 0
+        self._clean_streak = 0
+
+    # ------------------------------------------------------------------
+    def _raw(self, snapshot: WindowSnapshot):
+        """Undebounced verdict: (raw_state, pressures, guarded)."""
+        spec = self.spec
+        view = snapshot.for_tier(spec.tier)
+        pressures: Dict[str, float] = {}
+        guarded = False
+
+        p95 = view.p95_latency
+        if spec.max_p95_latency_s is not None and not math.isnan(p95.value):
+            pressures["p95_latency_s"] = p95.value / spec.max_p95_latency_s
+
+        if spec.min_availability is not None:
+            # Availability is judged over *admitted* requests only.  The
+            # report's whole-run availability rightly counts sheds
+            # against the system, but the monitor is what TRIGGERS
+            # shedding — if its own remedy counted as a violation, one
+            # breach would latch the controller into shedding healthy
+            # traffic indefinitely.
+            if spec.tier is None:
+                admitted = snapshot.n - snapshot.n_shed
+                answered = snapshot.n_answered
+            else:
+                admitted = view.n - view.n_shed
+                answered = view.n - view.n_failed - view.n_shed
+            if admitted:
+                availability = answered / admitted
+                pressures["availability"] = (
+                    spec.min_availability / availability
+                    if availability > 0.0
+                    else float("inf")
+                )
+
+        mean_cost = view.mean_cost
+        if spec.max_cost_per_request is not None and not math.isnan(mean_cost):
+            pressures["cost_per_request"] = mean_cost / spec.max_cost_per_request
+
+        worst = max(pressures.values(), default=0.0)
+        if worst > 1.0:
+            # The small-N guard: when the *only* violated metrics are
+            # percentile estimates ranked over too few samples, the
+            # violation is quantile noise — cap the verdict at WARN.
+            solid_violation = any(
+                ratio > 1.0
+                for metric, ratio in pressures.items()
+                if metric != "p95_latency_s"
+            )
+            if (
+                not solid_violation
+                and pressures.get("p95_latency_s", 0.0) > 1.0
+                and p95.low_confidence
+            ):
+                return SLOState.WARN, pressures, True
+            return SLOState.BREACH, pressures, False
+        # Strictly above the warn ratio: a metric sitting exactly on it
+        # (e.g. perfect availability against a floor of warn_ratio's
+        # reciprocal) is compliant, not "close to violating".
+        if worst > spec.warn_ratio:
+            return SLOState.WARN, pressures, False
+        return SLOState.OK, pressures, guarded
+
+    def evaluate(self, snapshot: WindowSnapshot) -> SLOStatus:
+        """Fold one snapshot into the debounced state machine."""
+        raw, pressures, guarded = self._raw(snapshot)
+        previous = self.state
+
+        if raw is SLOState.BREACH:
+            self._violating_streak += 1
+            self._clean_streak = 0
+        elif raw is SLOState.OK:
+            self._clean_streak += 1
+            self._violating_streak = 0
+        else:  # WARN neither arms nor clears the breach latch
+            self._violating_streak = 0
+            self._clean_streak = 0
+
+        if self.state is SLOState.BREACH:
+            if self._clean_streak >= self.spec.clear_after:
+                self.state = SLOState.OK
+        else:
+            if self._violating_streak >= self.spec.breach_after:
+                self.state = SLOState.BREACH
+            else:
+                self.state = raw if raw is not SLOState.BREACH else SLOState.WARN
+
+        return SLOStatus(
+            name=self.spec.name,
+            state=self.state,
+            raw_state=raw,
+            pressures=pressures,
+            guarded=guarded,
+            transitioned=self.state is not previous,
+        )

@@ -1,0 +1,373 @@
+"""Streaming, windowed serving telemetry.
+
+Everything the control plane decides — SLO states, admission pressure,
+when the policy adaptor may re-fit — is decided from a *trailing window*
+of per-request records, not from whole-run aggregates: a breach that
+started five virtual seconds ago must dominate a healthy first hour.
+:class:`TelemetryHub` is that window.
+
+Producers publish :class:`~repro.service.simulation.report.RequestRecord`
+values through a plain event-hook interface — the hub's :meth:`publish`
+is just a ``callable(record, now)``, so the discrete-event engine (via
+its ``record_hooks``) and the synchronous gateway backends both feed it
+without importing anything from this package.  Internally the hub keeps a
+ring buffer (a bounded deque ordered by publish time); :meth:`snapshot`
+evicts entries older than the window and folds the survivors into a
+:class:`WindowSnapshot` — windowed p50/p95/p99, goodput, availability,
+node-seconds burn, and per-tier breakdowns.
+
+Windowed percentiles carry a small-N guard: a p95 ranked over a handful
+of samples is an artefact of quantile math, not a tail (with 4 samples
+there is always exactly one "p95 outlier" by definition — the same
+failure mode as rank-based tier classification over tiny component
+counts).  :func:`guarded_percentile` therefore returns a
+:class:`PercentileEstimate` whose ``low_confidence`` flag is set below
+:data:`MIN_PERCENTILE_SAMPLES` samples; consumers (the SLO monitors) must
+not treat a flagged value as breach evidence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MIN_PERCENTILE_SAMPLES",
+    "PercentileEstimate",
+    "TelemetryHub",
+    "TierWindow",
+    "WindowSnapshot",
+    "guarded_percentile",
+]
+
+#: Below this many samples a windowed percentile is flagged low-confidence.
+MIN_PERCENTILE_SAMPLES = 20
+
+
+@dataclass(frozen=True)
+class PercentileEstimate:
+    """A windowed percentile together with its evidential weight.
+
+    Attributes:
+        q: The percentile requested, in ``[0, 100]``.
+        value: The estimate (``nan`` over an empty window).
+        n: Number of samples it was ranked over.
+        low_confidence: True when ``n`` is below the guard threshold —
+            the value is reported (a dashboard still wants a number) but
+            must not count as breach evidence on its own.
+    """
+
+    q: float
+    value: float
+    n: int
+    low_confidence: bool
+
+    @property
+    def reliable(self) -> bool:
+        """Whether the estimate rests on enough samples to act on."""
+        return not self.low_confidence
+
+
+def guarded_percentile(
+    values: Sequence[float],
+    q: float,
+    *,
+    min_samples: int = MIN_PERCENTILE_SAMPLES,
+) -> PercentileEstimate:
+    """Rank a percentile with the small-N guard applied.
+
+    Args:
+        values: The windowed sample (may be empty).
+        q: Percentile in ``[0, 100]``.
+        min_samples: Sample count below which the estimate is flagged.
+
+    Raises:
+        ValueError: If ``q`` is outside ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    arr = np.asarray(values, dtype=float)
+    n = int(arr.size)
+    if n == 0:
+        return PercentileEstimate(q=q, value=float("nan"), n=0, low_confidence=True)
+    return PercentileEstimate(
+        q=q,
+        value=float(np.percentile(arr, q)),
+        n=n,
+        low_confidence=n < min_samples,
+    )
+
+
+@dataclass(frozen=True)
+class TierWindow:
+    """Per-tier slice of one window snapshot.
+
+    Attributes:
+        tier: The tolerance annotation the slice covers.
+        n: Requests of this tier that resolved inside the window.
+        n_failed: Terminal failures among them.
+        n_shed: Requests shed by admission control.
+        n_degraded: Requests force-degraded to the fast tier.
+        p95_latency: Guarded p95 over the tier's successful responses.
+        mean_cost: Mean billed cost per answered request (``nan`` when
+            none were answered).
+    """
+
+    tier: float
+    n: int
+    n_failed: int
+    n_shed: int
+    n_degraded: int
+    p95_latency: PercentileEstimate
+    mean_cost: float
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Aggregate view of the trailing telemetry window at one instant.
+
+    Attributes:
+        now: Virtual time the snapshot was taken.
+        window_s: Nominal window length.
+        span_s: Effective span the rates are normalised over (shorter
+            than ``window_s`` while the run is younger than one window).
+        n: Records in the window (successes + failures + sheds).
+        n_failed: Terminal failures in the window.
+        n_shed: Requests shed by admission control.
+        n_degraded: Requests served force-degraded.
+        p50_latency / p95_latency / p99_latency: Guarded percentiles over
+            successful responses.
+        goodput_rps: Successful responses per second over ``span_s``.
+        availability: Fraction of windowed requests that got an answer
+            (sheds count against it); ``nan`` over an empty window.
+        node_seconds: Billed node-seconds per version inside the window.
+        node_seconds_per_s: Total node-seconds burn rate over ``span_s``.
+        mean_cost: Mean billed cost per answered request.
+        tiers: Per-tier breakdowns, keyed by tolerance.
+        payloads: Payloads of windowed records in publish order (the
+            adaptor re-fits the rule generator on these rows).
+    """
+
+    now: float
+    window_s: float
+    span_s: float
+    n: int
+    n_failed: int
+    n_shed: int
+    n_degraded: int
+    p50_latency: PercentileEstimate
+    p95_latency: PercentileEstimate
+    p99_latency: PercentileEstimate
+    goodput_rps: float
+    availability: float
+    node_seconds: Dict[str, float]
+    node_seconds_per_s: float
+    mean_cost: float
+    tiers: Dict[float, TierWindow]
+    payloads: Tuple[object, ...]
+
+    @property
+    def n_answered(self) -> int:
+        """Windowed requests that resolved with a response."""
+        return self.n - self.n_failed - self.n_shed
+
+    def for_tier(self, tier: Optional[float]) -> "WindowSnapshot | TierWindow":
+        """The whole-stream snapshot, or one tier's slice.
+
+        Args:
+            tier: ``None`` for the whole stream; a tolerance otherwise.
+                An unseen tier returns an empty :class:`TierWindow`.
+        """
+        if tier is None:
+            return self
+        window = self.tiers.get(float(tier))
+        if window is None:
+            window = TierWindow(
+                tier=float(tier),
+                n=0,
+                n_failed=0,
+                n_shed=0,
+                n_degraded=0,
+                p95_latency=guarded_percentile((), 95.0),
+                mean_cost=float("nan"),
+            )
+        return window
+
+
+class TelemetryHub:
+    """Ring-buffer sliding window over the per-request record stream.
+
+    Args:
+        window_s: Trailing window length on the publisher's clock.
+        min_percentile_samples: Small-N guard threshold for windowed
+            percentiles.
+        max_records: Hard bound on buffered records (the ring); the
+            oldest entries are dropped first.  Sized so any sane window
+            fits; this is a memory valve, not a semantic knob.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 10.0,
+        *,
+        min_percentile_samples: int = MIN_PERCENTILE_SAMPLES,
+        max_records: int = 100_000,
+    ) -> None:
+        if window_s <= 0.0:
+            raise ValueError("window_s must be positive")
+        if min_percentile_samples < 1:
+            raise ValueError("min_percentile_samples must be at least 1")
+        self.window_s = float(window_s)
+        self.min_percentile_samples = int(min_percentile_samples)
+        self._ring: Deque[Tuple[float, object]] = deque(maxlen=max_records)
+        self._hooks: List[Callable[[object, float], None]] = []
+        self._published = 0
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------
+    # event-hook surface
+    # ------------------------------------------------------------------
+    def subscribe(self, hook: Callable[[object, float], None]) -> None:
+        """Register a callback invoked per published ``(record, now)``."""
+        self._hooks.append(hook)
+
+    def publish(self, record, now: Optional[float] = None) -> None:
+        """Fold one request record into the window.
+
+        This is the hub's producer hook: the engine's ``record_hooks``
+        and the gateway's synchronous completion path both call exactly
+        this signature.  Publish times must be non-decreasing (both
+        producers emit in clock order).
+
+        Args:
+            record: A :class:`~repro.service.simulation.report.RequestRecord`
+                (or anything with its fields).
+            now: Publish time; defaults to the record's ``finished_s``.
+        """
+        t = float(record.finished_s if now is None else now)
+        if t < self._last_time - 1e-12:
+            raise ValueError(
+                f"telemetry published out of order: {t:.6f} after "
+                f"{self._last_time:.6f}"
+            )
+        self._last_time = max(self._last_time, t)
+        self._ring.append((t, record))
+        self._published += 1
+        for hook in self._hooks:
+            hook(record, t)
+
+    @property
+    def total_published(self) -> int:
+        """Records published over the hub's lifetime (not just the window)."""
+        return self._published
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    # windowed aggregation
+    # ------------------------------------------------------------------
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window_s
+        ring = self._ring
+        while ring and ring[0][0] < horizon:
+            ring.popleft()
+
+    def snapshot(self, now: float) -> WindowSnapshot:
+        """Aggregate the trailing window as of ``now``.
+
+        Eviction is destructive (records older than one window are
+        gone), so snapshots must be taken with non-decreasing ``now`` —
+        which both producers guarantee.
+        """
+        self._evict(now)
+        records = [record for _, record in self._ring]
+        span = self.window_s if now >= self.window_s else max(now, 1e-9)
+
+        latencies: List[float] = []
+        node_seconds: Dict[str, float] = {}
+        n_failed = n_shed = n_degraded = 0
+        cost_sum = 0.0
+        by_tier: Dict[float, List[object]] = {}
+        for r in records:
+            by_tier.setdefault(float(r.tier), []).append(r)
+            if getattr(r, "shed", False):
+                n_shed += 1
+                continue
+            if r.failed:
+                n_failed += 1
+                continue
+            if getattr(r, "degraded", False):
+                n_degraded += 1
+            latencies.append(r.response_time_s)
+            cost_sum += r.invocation_cost
+            for version, seconds in r.node_seconds.items():
+                node_seconds[version] = node_seconds.get(version, 0.0) + seconds
+
+        n = len(records)
+        n_answered = n - n_failed - n_shed
+        min_samples = self.min_percentile_samples
+        tiers: Dict[float, TierWindow] = {}
+        for tier, tier_records in by_tier.items():
+            t_shed = sum(1 for r in tier_records if getattr(r, "shed", False))
+            t_failed = sum(
+                1
+                for r in tier_records
+                if r.failed and not getattr(r, "shed", False)
+            )
+            t_degraded = sum(
+                1
+                for r in tier_records
+                if getattr(r, "degraded", False)
+                and not r.failed
+                and not getattr(r, "shed", False)
+            )
+            answered = [
+                r
+                for r in tier_records
+                if not r.failed and not getattr(r, "shed", False)
+            ]
+            tiers[tier] = TierWindow(
+                tier=tier,
+                n=len(tier_records),
+                n_failed=t_failed,
+                n_shed=t_shed,
+                n_degraded=t_degraded,
+                p95_latency=guarded_percentile(
+                    [r.response_time_s for r in answered],
+                    95.0,
+                    min_samples=min_samples,
+                ),
+                mean_cost=(
+                    sum(r.invocation_cost for r in answered) / len(answered)
+                    if answered
+                    else float("nan")
+                ),
+            )
+
+        return WindowSnapshot(
+            now=now,
+            window_s=self.window_s,
+            span_s=span,
+            n=n,
+            n_failed=n_failed,
+            n_shed=n_shed,
+            n_degraded=n_degraded,
+            p50_latency=guarded_percentile(latencies, 50.0, min_samples=min_samples),
+            p95_latency=guarded_percentile(latencies, 95.0, min_samples=min_samples),
+            p99_latency=guarded_percentile(latencies, 99.0, min_samples=min_samples),
+            goodput_rps=n_answered / span,
+            availability=(n_answered / n) if n else float("nan"),
+            node_seconds=node_seconds,
+            node_seconds_per_s=sum(node_seconds.values()) / span,
+            mean_cost=(cost_sum / n_answered) if n_answered else float("nan"),
+            tiers=tiers,
+            payloads=tuple(
+                r.payload
+                for r in records
+                if not r.failed and not getattr(r, "shed", False)
+            ),
+        )

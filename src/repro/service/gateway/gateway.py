@@ -31,6 +31,7 @@ from repro.core.errors import (
     GatewayClosedError,
     MissingVersionError,
     RequestFailedError,
+    RequestShedError,
     RequestValidationError,
     ResultPendingError,
     TierError,
@@ -156,10 +157,27 @@ class TierGateway:
         router: Tier router produced by the routing-rule generator.
         configuration: Fixed ensemble configuration (mutually exclusive
             with ``router``).
+        control: Optional control plane
+            (:class:`~repro.service.control.plane.ControlPlane`) for a
+            *synchronous* backend: every completion feeds its telemetry
+            window, every submit consults its admission controller (a
+            shed request's ticket resolves immediately with a
+            :class:`~repro.core.errors.RequestShedError`), and adaptor
+            swaps retarget the session's fixed configuration.
+            Synchronous sessions have no clock, so the plane's time
+            advances **one unit per submission**: ``window_s`` and the
+            tick/re-fit intervals are measured in requests, not
+            seconds.  For a simulated backend pass the control spec to
+            the backend instead (``SimulatedBackend(control=...)``) —
+            admission belongs on the virtual clock there, and this
+            gateway's :meth:`drain` resolves engine-shed tickets with
+            the same structured error.
 
     Raises:
         MissingVersionError: If a routable configuration needs a version
             the backend cannot execute.
+        BackendCapabilityError: If ``control`` is combined with a
+            deferred backend.
     """
 
     def __init__(
@@ -168,16 +186,29 @@ class TierGateway:
         *,
         router=None,
         configuration=None,
+        control=None,
     ) -> None:
         if (router is None) == (configuration is None):
             raise ValueError("supply exactly one of router / configuration")
+        if control is not None and not backend.synchronous:
+            raise BackendCapabilityError(
+                "gateway-side control needs a synchronous backend; under a "
+                "virtual clock admission must happen at arrival time — pass "
+                "the control spec to the SimulatedBackend instead"
+            )
         self.backend = backend
         self.router = router
         self.configuration = configuration
+        self.control = control
         self._executor = PolicyExecutor(backend)
         self._tickets: List[TierTicket] = []
         self._unclaimed: List[ServiceResponse] = []
         self._closed = False
+        #: Synchronous control clock: one unit per submission (there is
+        #: no wall/virtual clock on a synchronous session, and a
+        #: constant "now" would freeze window eviction, re-fit
+        #: intervals and rollback judgements).
+        self._control_clock = 0.0
         self._validate_versions()
         bind = getattr(backend, "bind", None)
         if bind is not None:
@@ -270,6 +301,21 @@ class TierGateway:
             deadline_s=_request_deadline(request, deadline_s),
         )
         self._tickets.append(ticket)
+        degraded = False
+        if self.control is not None:
+            self._control_clock += 1.0
+            decision = self.control.admit(
+                request, self._control_clock, planned=configuration
+            )
+            action = decision.action.value
+            if action == "shed":
+                self._resolve_shed(
+                    ticket, self._control_clock, reason=decision.reason
+                )
+                return ticket
+            if action == "degrade" and decision.configuration is not None:
+                configuration = decision.configuration
+                degraded = True
         if self.backend.synchronous:
             outcome = self._executor.execute(configuration, request)
             response = ServiceResponse(
@@ -283,9 +329,97 @@ class TierGateway:
             )
             ticket._resolve(response)
             self._unclaimed.append(response)
+            if self.control is not None:
+                self._publish_outcome(
+                    request, outcome, self._control_clock, degraded=degraded
+                )
         else:
             self.backend.submit(request, at_time=at_time)
         return ticket
+
+    # ------------------------------------------------------------------
+    # control-plane integration (synchronous backends)
+    # ------------------------------------------------------------------
+    def _resolve_shed(
+        self, ticket: TierTicket, at_time: float, *, reason: str
+    ) -> None:
+        """Fail a ticket the admission controller shed, and record it."""
+        from repro.service.simulation.report import RequestRecord
+
+        request = ticket.request
+        record = RequestRecord(
+            request_id=request.request_id,
+            payload=request.payload,
+            tier=request.tolerance,
+            arrival_s=at_time,
+            finished_s=at_time,
+            response_time_s=0.0,
+            queue_wait_s=0.0,
+            versions_used=(),
+            escalated=False,
+            invocation_cost=0.0,
+            node_seconds={},
+            failed=False,
+            retries=0,
+            shed=True,
+        )
+        ticket._fail(
+            RequestShedError(
+                f"request {request.request_id!r} was shed by admission "
+                f"control: {reason}",
+                record=record,
+            )
+        )
+        self.control.observe(record, at_time)
+        self._pump_control(at_time)
+
+    def _publish_outcome(
+        self, request: ServiceRequest, outcome, at_time: float, *, degraded: bool
+    ) -> None:
+        """Feed one synchronous completion into the control plane."""
+        from repro.service.simulation.report import RequestRecord
+
+        record = RequestRecord(
+            request_id=outcome.request_id,
+            payload=request.payload,
+            tier=request.tolerance,
+            arrival_s=at_time,
+            finished_s=at_time + outcome.response_time_s,
+            response_time_s=outcome.response_time_s,
+            queue_wait_s=0.0,
+            versions_used=outcome.versions_used,
+            escalated=outcome.escalated,
+            invocation_cost=outcome.invocation_cost,
+            node_seconds=dict(outcome.node_seconds),
+            failed=False,
+            retries=0,
+            result=outcome.result,
+            confidence=outcome.confidence,
+            degraded=degraded,
+        )
+        self.control.observe(record, at_time)
+        self._pump_control(at_time)
+
+    def _pump_control(self, at_time: float) -> None:
+        """Evaluate SLOs / adaptation; apply a hot-swap when possible.
+
+        Synchronous sessions have no scheduled control ticks, so the
+        loop is pumped after every observation.  An adaptor swap only
+        applies to a fixed-configuration session whose backend deploys
+        the new configuration's versions; a swap this session cannot
+        serve is *declined* back to the plane, so the adaptor's
+        bookkeeping keeps tracking the policy actually running.
+        """
+        swap = self.control.pump(at_time)
+        if swap is None:
+            return
+        deployed = self.backend.versions
+        if self.configuration is None or (
+            deployed is not None and set(swap.versions) - set(deployed)
+        ):
+            self.control.decline_swap(swap, at_time)
+            return
+        self.configuration = swap
 
     def submit_batch(
         self,
@@ -348,6 +482,17 @@ class TierGateway:
                         "but the backend produced no record for it"
                     )
                 )
+            elif record.shed:
+                # Admission control dropped the request inside the
+                # engine; the ticket resolves with the structured shed
+                # error — it must never hang past a drain.
+                ticket._fail(
+                    RequestShedError(
+                        f"request {record.request_id!r} was shed by "
+                        "admission control under SLO breach",
+                        record=record,
+                    )
+                )
             elif record.failed:
                 ticket._fail(
                     RequestFailedError(
@@ -406,8 +551,10 @@ class TierGateway:
             )
         ticket = self.submit(request)
         # One-shot: claimed here, not by the next drain(), and not
-        # retained in the session bookkeeping.
-        self._unclaimed.pop()
+        # retained in the session bookkeeping.  A shed request produced
+        # no response to claim — its ticket already failed.
+        if ticket.ok:
+            self._unclaimed.pop()
         self._tickets.pop()
         return ticket.result()
 

@@ -49,7 +49,17 @@ class SimulatedBackend:
         retry: How failed job attempts are re-driven.
         check_invariants: Verify the engine's conservation laws at drain
             time (see :mod:`repro.service.simulation.invariants`).
-        seed: Seed for arrival sampling and fault draws.
+        control: Closed-loop control for the session — either a live
+            :class:`~repro.service.control.plane.ControlPlane`, or a
+            declarative :class:`~repro.service.control.plane.ControlSpec`
+            paired with ``control_measurements`` (the plane is then
+            built at :meth:`bind` time, anchored on the gateway's
+            routing decision).  Requests the plane sheds resolve their
+            gateway tickets with a
+            :class:`~repro.core.errors.RequestShedError`.
+        control_measurements: Measurement table a spec-built plane's
+            adaptor re-fits on.
+        seed: Seed for arrival sampling, fault and admission draws.
     """
 
     synchronous = False
@@ -63,6 +73,8 @@ class SimulatedBackend:
         faults: Sequence[FaultEvent] = (),
         retry: Optional[RetryPolicy] = None,
         check_invariants: bool = False,
+        control=None,
+        control_measurements=None,
         seed: int = 0,
     ) -> None:
         self.cluster = cluster
@@ -71,9 +83,13 @@ class SimulatedBackend:
         self._faults = tuple(faults)
         self._retry = retry
         self._check_invariants = check_invariants
+        self._control = control
+        self._control_measurements = control_measurements
         self._seed = seed
         self._simulator: Optional[ServingSimulator] = None
         self.last_report: Optional[LoadTestReport] = None
+        #: The live control plane, once :meth:`bind` inflated it.
+        self.control = None
 
     @classmethod
     def from_scenario(
@@ -112,6 +128,8 @@ class SimulatedBackend:
             faults=spec.faults,
             retry=spec.retry,
             check_invariants=check_invariants,
+            control=spec.control,
+            control_measurements=measurements,
             seed=spec.seed,
         )
 
@@ -135,6 +153,21 @@ class SimulatedBackend:
                 "this SimulatedBackend is already bound to a gateway; the "
                 "engine is single-use — build a fresh backend per session"
             )
+        control = self._control
+        if control is not None and not hasattr(control, "on_tick"):
+            # A declarative ControlSpec: inflate it now, anchored on the
+            # routing decision the gateway just bound.
+            from repro.service.control.plane import ControlPlane
+
+            control = ControlPlane.from_spec(
+                control,
+                measurements=self._control_measurements,
+                configuration=configuration,
+                router=router,
+                seed=self._seed,
+                deployed_versions=self.cluster.versions,
+            )
+        self.control = control
         self._simulator = ServingSimulator(
             self.cluster,
             router=router,
@@ -148,6 +181,7 @@ class SimulatedBackend:
             faults=self._faults,
             retry=self._retry,
             check_invariants=self._check_invariants,
+            control=control,
             seed=self._seed,
         )
 

@@ -47,11 +47,22 @@ parked when the event loop drains resolve with a confident fast answer
 when one is in hand, and as failed requests otherwise.  A request that
 fails is not billed.
 
+Closed-loop runs attach a **control plane** (duck-typed; see
+:class:`repro.service.control.plane.ControlPlane` — this module
+deliberately imports nothing from that package): every finalized record
+is published to the plane (and to any plain ``record_hooks``
+callables), every arrival consults admission (requests may be *shed* —
+resolved unserved, first-class in the report — or *force-degraded* to
+the fast tier), and a periodic control tick evaluates SLOs and may
+hot-swap the active configuration the adaptor re-fit.
+
 The event loop is single-threaded and deterministic: same seed, same
 arrival process, same fault schedule, same report — fault-free runs
 consume exactly the random draws and fire exactly the events the PR 1
-engine did, so existing behaviour is bit-identical.  Pass
-``check_invariants=True`` to feed an
+engine did, so existing behaviour is bit-identical, and with
+``control=None`` no control event is ever scheduled and no draw is ever
+taken (the PR 3/4 golden digests stand).  Pass ``check_invariants=True``
+to feed an
 :class:`~repro.service.simulation.invariants.InvariantChecker` ledger and
 reconcile it at drain time.
 """
@@ -116,6 +127,7 @@ class _InFlight:
         "leg_open",
         "retry_pending",
         "retries",
+        "degraded",
     )
 
     def __init__(
@@ -161,6 +173,9 @@ class _InFlight:
         self.retry_pending: Dict[str, bool] = {}
         #: Attempts re-driven after a failure (for the request record).
         self.retries = 0
+        #: True when admission control downgraded the request to the
+        #: fast tier instead of the configuration routing planned.
+        self.degraded = False
 
     def leg_viable(self, version: str) -> bool:
         """Whether the leg can still produce a result (open or retrying)."""
@@ -219,6 +234,16 @@ class ServingSimulator:
             :class:`~repro.service.simulation.invariants.InvariantChecker`
             and verify its ledger at drain time.  Pure bookkeeping — the
             simulated behaviour (and report digest) is unchanged.
+        control: Optional control plane (duck-typed against
+            :class:`~repro.service.control.plane.ControlPlane`):
+            consulted per arrival (``admit``), fed per finalized record
+            (``observe``), and ticked every ``tick_interval_s`` on the
+            virtual clock (``on_tick`` — a returned configuration is
+            hot-swapped in as the active fixed configuration).
+        record_hooks: Plain ``callable(record, now)`` hooks invoked for
+            every record the engine emits (telemetry publishing without
+            any engine⇄control coupling).  The control plane's
+            ``observe`` is appended automatically.
         seed: Seed for arrival sampling and payload choice (transient
             fault draws use a generator derived from it, so healthy and
             faulty runs see identical arrivals).
@@ -235,6 +260,8 @@ class ServingSimulator:
         faults: Sequence[FaultEvent] = (),
         retry: Optional[RetryPolicy] = None,
         check_invariants: bool = False,
+        control=None,
+        record_hooks: Sequence[Any] = (),
         seed: int = 0,
     ) -> None:
         if (router is None) == (configuration is None):
@@ -282,6 +309,12 @@ class ServingSimulator:
         self._faults = tuple(faults)
         self._fault_log: List[FaultLogEntry] = []
         self._check = InvariantChecker() if check_invariants else None
+        self._control = control
+        hooks = tuple(record_hooks)
+        if control is not None:
+            hooks = hooks + (control.observe,)
+        self._record_hooks = hooks
+        self._control_tick_scheduled = False
         known = set(cluster.load_balancer.versions)
         for fault in self._faults:
             targets = (
@@ -390,6 +423,13 @@ class ServingSimulator:
                 self._on_autoscale_tick,
                 kind="autoscale",
             )
+        if self._control is not None and not self._control_tick_scheduled:
+            self._control_tick_scheduled = True
+            self._loop.schedule(
+                self._control.tick_interval_s,
+                self._on_control_tick,
+                kind="control",
+            )
         self._loop.run(max_events=_MAX_EVENTS)
         self._drained = True
         if self._remaining and self._inflight and self._faults:
@@ -427,6 +467,9 @@ class ServingSimulator:
             else [],
             final_pool_sizes=self.cluster.pool_sizes(),
             fault_log=list(self._fault_log),
+            control_log=list(self._control.log)
+            if self._control is not None
+            else [],
         )
         if self._check is not None:
             self._check.verify(report, self.cluster, self._retry)
@@ -446,7 +489,25 @@ class ServingSimulator:
         return self._router.route_request(request)
 
     def _on_arrival(self, request: ServiceRequest) -> None:
-        state = _InFlight(request, self._plan(request))
+        configuration = self._plan(request)
+        degraded = False
+        if self._control is not None:
+            decision = self._control.admit(
+                request, self._loop.now, planned=configuration
+            )
+            action = decision.action.value
+            if action == "shed":
+                if request.request_id in self._inflight:
+                    raise ValueError(
+                        f"duplicate request id {request.request_id!r}"
+                    )
+                self._shed_request(request)
+                return
+            if action == "degrade" and decision.configuration is not None:
+                configuration = decision.configuration
+                degraded = True
+        state = _InFlight(request, configuration)
+        state.degraded = degraded
         state.arrival = self._loop.now
         if request.request_id in self._inflight:
             raise ValueError(f"duplicate request id {request.request_id!r}")
@@ -459,6 +520,38 @@ class ServingSimulator:
                 state, state.accurate_version
             )
             state.accurate_enqueued = True
+
+    def _shed_request(self, request: ServiceRequest) -> None:
+        """Resolve one arrival unserved: admission control dropped it."""
+        now = self._loop.now
+        if self._check is not None:
+            self._check.on_arrival(request.request_id, now)
+            self._check.on_shed(request.request_id, now)
+        record = RequestRecord(
+            request_id=request.request_id,
+            payload=request.payload,
+            tier=request.tolerance,
+            arrival_s=now,
+            finished_s=now,
+            response_time_s=0.0,
+            queue_wait_s=0.0,
+            versions_used=(),
+            escalated=False,
+            invocation_cost=0.0,
+            node_seconds={},
+            failed=False,
+            retries=0,
+            shed=True,
+        )
+        self._records.append(record)
+        self._remaining -= 1
+        self._emit_record(record)
+
+    def _emit_record(self, record: RequestRecord) -> None:
+        """Publish one emitted record to the registered event hooks."""
+        now = self._loop.now
+        for hook in self._record_hooks:
+            hook(record, now)
 
     def _enqueue_attempt(
         self, state: _InFlight, version: str
@@ -892,31 +985,32 @@ class ServingSimulator:
             state, exclude_version=exclude_version, outcome=outcome
         )
         fast = state.fast_completion
-        self._records.append(
-            RequestRecord(
-                request_id=state.request.request_id,
-                payload=state.request.payload,
-                tier=state.request.tolerance,
-                arrival_s=state.arrival,
-                finished_s=end,
-                response_time_s=end - state.arrival,
-                queue_wait_s=(
-                    fast.started_at - state.arrival if fast is not None else 0.0
-                ),
-                versions_used=(),
-                escalated=bool(state.escalated),
-                invocation_cost=0.0,
-                node_seconds={},
-                failed=True,
-                retries=state.retries,
-            )
+        record = RequestRecord(
+            request_id=state.request.request_id,
+            payload=state.request.payload,
+            tier=state.request.tolerance,
+            arrival_s=state.arrival,
+            finished_s=end,
+            response_time_s=end - state.arrival,
+            queue_wait_s=(
+                fast.started_at - state.arrival if fast is not None else 0.0
+            ),
+            versions_used=(),
+            escalated=bool(state.escalated),
+            invocation_cost=0.0,
+            node_seconds={},
+            failed=True,
+            retries=state.retries,
+            degraded=state.degraded,
         )
+        self._records.append(record)
         if self._check is not None:
             self._check.on_finalized(
                 state.request.request_id, self._loop.now, failed=True
             )
         del self._inflight[state.request.request_id]
         self._remaining -= 1
+        self._emit_record(record)
 
     def _abandon_outstanding(
         self,
@@ -1170,33 +1264,72 @@ class ServingSimulator:
         lead = lead or state.fast_completion
         escalated = bool(state.escalated)
         cost = self.cluster.cost_of(node_seconds)
-        self._records.append(
-            RequestRecord(
-                request_id=state.request.request_id,
-                payload=state.request.payload,
-                tier=state.request.tolerance,
-                arrival_s=state.arrival,
-                finished_s=end,
-                response_time_s=end - state.arrival,
-                queue_wait_s=lead.started_at - state.arrival,
-                versions_used=tuple(node_seconds.keys()),
-                escalated=escalated,
-                invocation_cost=cost.invocation_cost,
-                node_seconds=dict(node_seconds),
-                failed=False,
-                retries=state.retries,
-                result=answer.result.output if answer is not None else None,
-                confidence=(
-                    answer.result.confidence if answer is not None else None
-                ),
-            )
+        record = RequestRecord(
+            request_id=state.request.request_id,
+            payload=state.request.payload,
+            tier=state.request.tolerance,
+            arrival_s=state.arrival,
+            finished_s=end,
+            response_time_s=end - state.arrival,
+            queue_wait_s=lead.started_at - state.arrival,
+            versions_used=tuple(node_seconds.keys()),
+            escalated=escalated,
+            invocation_cost=cost.invocation_cost,
+            node_seconds=dict(node_seconds),
+            failed=False,
+            retries=state.retries,
+            result=answer.result.output if answer is not None else None,
+            confidence=(
+                answer.result.confidence if answer is not None else None
+            ),
+            degraded=state.degraded,
         )
+        self._records.append(record)
         if self._check is not None:
             self._check.on_finalized(
                 state.request.request_id, self._loop.now, failed=False
             )
         del self._inflight[state.request.request_id]
         self._remaining -= 1
+        self._emit_record(record)
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def _on_control_tick(self) -> None:
+        swap = self._control.on_tick(self._loop.now)
+        if swap is not None:
+            self._apply_configuration(swap)
+        if self._remaining > 0:
+            self._loop.schedule(
+                self._control.tick_interval_s,
+                self._on_control_tick,
+                kind="control",
+            )
+        else:
+            self._control_tick_scheduled = False
+
+    def _apply_configuration(self, configuration: EnsembleConfiguration) -> None:
+        """Hot-swap the active fixed configuration (adaptor-driven).
+
+        Later arrivals route through the new configuration; requests
+        already in flight finish under the one they started with.
+        """
+        if self._configuration is None:
+            raise ValueError(
+                "cannot hot-swap a configuration into a router-driven "
+                "simulation; the adaptor only anchors on fixed "
+                "configurations"
+            )
+        unknown = set(configuration.versions) - set(
+            self.cluster.load_balancer.versions
+        )
+        if unknown:
+            raise ValueError(
+                f"hot-swapped configuration {configuration.config_id!r} "
+                f"needs undeployed version(s) {sorted(unknown)}"
+            )
+        self._configuration = configuration
 
     # ------------------------------------------------------------------
     # autoscaling

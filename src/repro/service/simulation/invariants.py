@@ -13,7 +13,8 @@ broken law.
 The laws:
 
 1. **Conservation of requests** — every arrived request is finalized
-   exactly once: it completes, or fails terminally.  No request is lost,
+   exactly once: it completes, fails terminally, or is shed by admission
+   control (submitted = completed + failed + shed).  No request is lost,
    none is answered twice.
 2. **Conservation of attempts** — every started job attempt is closed
    exactly once (completed, failed, cancelled, or explicitly detached);
@@ -63,6 +64,7 @@ class InvariantChecker:
         self._last_time = 0.0
         self._arrived: Dict[str, float] = {}
         self._finalized: Dict[str, bool] = {}
+        self._shed: Set[str] = set()
         self._started: Dict[Tuple[str, str], int] = {}
         self._closed: Dict[Tuple[str, str], int] = {}
         self._last_outcome: Dict[Tuple[str, str], str] = {}
@@ -171,6 +173,30 @@ class InvariantChecker:
                 f"{key}: orphan completion for an attempt never detached"
             )
 
+    def on_shed(self, request_id: str, t: float) -> None:
+        """Admission control dropped one arrived request unserved.
+
+        A shed is a terminal resolution of its own kind: it must follow
+        an arrival, must not follow (or precede) any job attempt, and
+        the request must never also complete or fail.
+        """
+        self.tick(t)
+        if request_id not in self._arrived:
+            raise InvariantViolation(
+                f"request {request_id!r} shed but never arrived"
+            )
+        if request_id in self._finalized or request_id in self._shed:
+            raise InvariantViolation(
+                f"request {request_id!r} shed after already resolving"
+            )
+        started = [key for key in self._started if key[0] == request_id]
+        if started:
+            raise InvariantViolation(
+                f"request {request_id!r} shed after starting attempts "
+                f"{started}; admission happens before any job runs"
+            )
+        self._shed.add(request_id)
+
     def on_finalized(self, request_id: str, t: float, *, failed: bool) -> None:
         """One request resolved (answered or terminally failed)."""
         self.tick(t)
@@ -178,7 +204,7 @@ class InvariantChecker:
             raise InvariantViolation(
                 f"request {request_id!r} finalized but never arrived"
             )
-        if request_id in self._finalized:
+        if request_id in self._finalized or request_id in self._shed:
             raise InvariantViolation(
                 f"request {request_id!r} finalized twice"
             )
@@ -202,22 +228,23 @@ class InvariantChecker:
         Raises:
             InvariantViolation: On the first broken law.
         """
-        # 1. conservation of requests
-        missing = set(self._arrived) - set(self._finalized)
+        # 1. conservation of requests: submitted = completed + failed + shed
+        resolved = set(self._finalized) | self._shed
+        missing = set(self._arrived) - resolved
         if missing:
             raise InvariantViolation(
                 f"{len(missing)} request(s) arrived but never resolved, "
                 f"e.g. {sorted(missing)[:3]}"
             )
-        extra = set(self._finalized) - set(self._arrived)
+        extra = resolved - set(self._arrived)
         if extra:
             raise InvariantViolation(
                 f"request(s) resolved without arriving: {sorted(extra)[:3]}"
             )
         reported = {r.request_id for r in report.records}
-        if reported != set(self._finalized):
+        if reported != resolved:
             raise InvariantViolation(
-                "report records do not match the finalized-request ledger"
+                "report records do not match the resolved-request ledger"
             )
         if len(report.records) != len(reported):
             raise InvariantViolation("duplicate request ids in the report")
@@ -237,6 +264,20 @@ class InvariantChecker:
 
         # 4. billing reconciliation (per record, then per version)
         for record in report.records:
+            if getattr(record, "shed", False) != (
+                record.request_id in self._shed
+            ):
+                raise InvariantViolation(
+                    f"record {record.request_id!r}: shed flag disagrees "
+                    "with the ledger"
+                )
+            if record.request_id in self._shed:
+                if record.failed or record.node_seconds or record.invocation_cost:
+                    raise InvariantViolation(
+                        f"shed record {record.request_id!r} must carry no "
+                        "failure flag, node-seconds or billed cost"
+                    )
+                continue
             if record.failed != self._finalized[record.request_id]:
                 raise InvariantViolation(
                     f"record {record.request_id!r}: failed flag disagrees "

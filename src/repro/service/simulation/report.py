@@ -60,6 +60,13 @@ class RequestRecord:
             exhausted, or capacity never recovered).
         retries: Number of re-driven job attempts across the request's
             versions (``0`` on a healthy run).
+        shed: True when admission control dropped the request before any
+            job ran (closed-loop runs only).  A shed request is neither
+            a success nor a terminal failure: the conservation law is
+            submitted = completed + failed + shed.
+        degraded: True when admission control force-degraded the request
+            to the fast tier (it was answered, by a cheaper ensemble
+            than routing planned).
         result: The answering version's output (``None`` for a failed
             request).  Excluded from :meth:`LoadTestReport.digest` —
             outputs can be arbitrary objects; behaviour is pinned by the
@@ -83,6 +90,8 @@ class RequestRecord:
     retries: int = 0
     result: object = None
     confidence: Optional[float] = None
+    shed: bool = False
+    degraded: bool = False
 
 
 @dataclass
@@ -95,6 +104,8 @@ class LoadTestReport:
         final_pool_sizes: Node count per version when the test drained.
         offered_rate: Mean offered arrival rate, when known.
         fault_log: Faults the engine applied (empty for a healthy run).
+        control_log: Control-plane actions — SLO transitions, policy
+            swaps, rollbacks (empty for an open-loop run).
     """
 
     records: List[RequestRecord]
@@ -102,12 +113,17 @@ class LoadTestReport:
     final_pool_sizes: Dict[str, int] = field(default_factory=dict)
     offered_rate: Optional[float] = None
     fault_log: List[FaultLogEntry] = field(default_factory=list)
+    control_log: List[object] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.records:
             raise ValueError("a load test report needs at least one record")
         self._latencies = np.asarray(
-            [r.response_time_s for r in self.records if not r.failed],
+            [
+                r.response_time_s
+                for r in self.records
+                if not r.failed and not r.shed
+            ],
             dtype=float,
         )
 
@@ -149,7 +165,11 @@ class LoadTestReport:
     @property
     def mean_queue_wait_s(self) -> float:
         """Mean time a request's first job sat queued before starting."""
-        waits = [r.queue_wait_s for r in self.records if not r.failed]
+        waits = [
+            r.queue_wait_s
+            for r in self.records
+            if not r.failed and not r.shed
+        ]
         if not waits:
             return float("nan")
         return float(np.mean(waits))
@@ -168,9 +188,24 @@ class LoadTestReport:
         return sum(1 for r in self.records if r.failed)
 
     @property
+    def n_shed(self) -> int:
+        """Number of requests shed by admission control."""
+        return sum(1 for r in self.records if r.shed)
+
+    @property
+    def n_degraded(self) -> int:
+        """Number of answered requests force-degraded to the fast tier."""
+        return sum(1 for r in self.records if r.degraded and not r.failed)
+
+    @property
     def availability(self) -> float:
-        """Fraction of requests that got an answer."""
-        return 1.0 - self.n_failed / self.n_requests
+        """Fraction of requests that got an answer.
+
+        Shed requests got none, so they count against availability
+        exactly as terminal failures do (submitted = completed +
+        failed + shed).
+        """
+        return 1.0 - (self.n_failed + self.n_shed) / self.n_requests
 
     @property
     def total_retries(self) -> int:
@@ -194,7 +229,7 @@ class LoadTestReport:
     def goodput_rps(self) -> float:
         """Successful responses per virtual second (what an SLO counts)."""
         span = self.makespan_s
-        successes = self.n_requests - self.n_failed
+        successes = self.n_requests - self.n_failed - self.n_shed
         return successes / span if span > 0.0 else float("inf")
 
     @property
@@ -230,6 +265,8 @@ class LoadTestReport:
             "goodput_rps": self.goodput_rps,
             "availability": self.availability,
             "n_failed": self.n_failed,
+            "n_shed": self.n_shed,
+            "n_degraded": self.n_degraded,
             "total_retries": self.total_retries,
             "p50_latency_s": self.p50_latency_s,
             "p95_latency_s": self.p95_latency_s,
@@ -240,6 +277,7 @@ class LoadTestReport:
             "escalation_rate": self.escalation_rate,
             "n_scaling_events": len(self.scaling_events),
             "n_fault_events": len(self.fault_log),
+            "n_control_events": len(self.control_log),
         }
 
     # ------------------------------------------------------------------
@@ -250,8 +288,10 @@ class LoadTestReport:
 
         Covers, per request in completion order: identity, payload, tier,
         arrival and finish times, routing (versions billed), escalation,
-        failure, retry count, billed cost and per-version node-seconds —
-        plus the final pool sizes and the fault log.  Floats are rendered
+        failure, retry count, billed cost and per-version node-seconds
+        (with shed/degraded markers on closed-loop records) — plus the
+        final pool sizes, the fault log and the control log.  Floats are
+        rendered
         at 12 significant digits, which is far below the engine's
         bit-determinism and far above any legitimate behavioural change.
         """
@@ -261,13 +301,19 @@ class LoadTestReport:
                 f"{version}={r.node_seconds[version]:.12e}"
                 for version in sorted(r.node_seconds)
             )
+            # Shed/degraded markers append only when set, so an
+            # open-loop run's digest is byte-identical to the
+            # pre-control-plane format (the golden traces stand).
+            flags = ("|shed" if r.shed else "") + (
+                "|degraded" if r.degraded else ""
+            )
             h.update(
                 (
                     f"{r.request_id}|{r.payload}|{r.tier:.12e}|"
                     f"{r.arrival_s:.12e}|{r.finished_s:.12e}|"
                     f"{','.join(r.versions_used)}|{int(r.escalated)}|"
                     f"{int(r.failed)}|{r.retries}|"
-                    f"{r.invocation_cost:.12e}|{seconds}\n"
+                    f"{r.invocation_cost:.12e}|{seconds}{flags}\n"
                 ).encode()
             )
         for version in sorted(self.final_pool_sizes):
@@ -279,6 +325,13 @@ class LoadTestReport:
             h.update(
                 (
                     f"fault:{entry.time_s:.12e}|{entry.kind}|{entry.version}|"
+                    f"{entry.detail}\n"
+                ).encode()
+            )
+        for entry in self.control_log:
+            h.update(
+                (
+                    f"control:{entry.time_s:.12e}|{entry.kind}|"
                     f"{entry.detail}\n"
                 ).encode()
             )

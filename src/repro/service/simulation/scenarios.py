@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.configuration import EnsembleConfiguration
 from repro.core.policies import SequentialPolicy, SingleVersionPolicy
 from repro.core.router import TierRouter
+from repro.service.control.plane import ControlPlane, ControlSpec
 from repro.service.measurement import MeasurementSet
 from repro.service.request import Objective
 from repro.service.simulation.arrivals import (
@@ -79,8 +80,14 @@ class ScenarioSpec:
             this config runs during the scenario.
         retry: How failed job attempts are re-driven.
         faults: Timed fault schedule; empty for a healthy scenario.
+        control: When given, the scenario runs closed-loop: a fresh
+            :class:`~repro.service.control.plane.ControlPlane` built
+            from this spec watches the run's telemetry, sheds or
+            degrades arrivals under SLO breach, and (when configured)
+            adapts the tier policy online.  ``None`` keeps the run
+            open-loop and bit-identical to the pre-control-plane engine.
         seed: Seed for the arrival/payload stream (and, derived from it,
-            the transient-fault draws).
+            the transient-fault and admission draws).
     """
 
     name: str
@@ -95,6 +102,7 @@ class ScenarioSpec:
     autoscaler_config: Optional[AutoscalerConfig] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     faults: Tuple[FaultEvent, ...] = ()
+    control: Optional[ControlSpec] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -147,6 +155,18 @@ def run_scenario(
         if spec.autoscaler_config is not None
         else None
     )
+    control = (
+        ControlPlane.from_spec(
+            spec.control,
+            measurements=measurements,
+            configuration=spec.configuration,
+            router=spec.router,
+            seed=spec.seed,
+            deployed_versions=tuple(spec.pools),
+        )
+        if spec.control is not None
+        else None
+    )
     simulator = ServingSimulator(
         cluster,
         router=spec.router,
@@ -156,6 +176,7 @@ def run_scenario(
         faults=spec.faults,
         retry=spec.retry,
         check_invariants=check_invariants,
+        control=control,
         seed=spec.seed,
     )
     return simulator.run(
