@@ -70,6 +70,12 @@ REPS = 1 if SMOKE else 7
 #: regression gate keeps a noise margin because CI runners and 1-vCPU
 #: containers time small numpy ops erratically under contention.
 SPEEDUP_FLOOR = 3.0 if SMOKE else 7.0
+#: Minimum accepted columnar-over-legacy speedup of the serving
+#: simulator, measured engine-vs-engine in the same process so machine
+#: state cancels out.  On a quiet machine the columnar engine lands
+#: >= 10x the recorded pre-PR baseline (see BENCH_PERF.json); the gate
+#: keeps margin for contended CI runners and tiny smoke workloads.
+SIM_SPEEDUP_FLOOR = 2.0 if SMOKE else 5.0
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
 
 GENERATOR_KW = dict(confidence=0.999, seed=7, min_trials=10, max_trials=60)
@@ -320,13 +326,14 @@ def test_perf_serving_simulator(ic_cpu_measurements):
     accurate_capacity = 2.0 / measurements.mean_latency(accurate)
     rate = 0.7 * min(fast_capacity, accurate_capacity / max(escalation, 1e-9))
 
-    def run():
+    def run(engine):
         cluster = build_replay_cluster(measurements, {fast: 2, accurate: 2})
         simulator = ServingSimulator(
             cluster,
             configuration=configuration,
             batching=BatchingConfig(max_batch_size=4, max_wait_s=0.01),
             seed=11,
+            engine=engine,
         )
         return simulator.run(
             PoissonArrivals(rate),
@@ -334,15 +341,30 @@ def test_perf_serving_simulator(ic_cpu_measurements):
             payload_ids=measurements.request_ids,
         )
 
-    wall, report = _best_time(run)
+    # The headline engine and its scalar oracle, timed back to back in
+    # the same process so machine state cancels out of the speedup.
+    wall, report = _best_time(lambda: run("columnar"))
+    legacy_wall, legacy_report = _best_time(lambda: run("legacy"))
     throughput = SIM_REQUESTS / wall
+    legacy_throughput = SIM_REQUESTS / legacy_wall
+    speedup = legacy_wall / wall
     print()
     print(
         f"PERF serving simulator: {SIM_REQUESTS} simulated requests in "
-        f"{wall:.3f}s -> {throughput:,.0f} requests/s "
+        f"{wall:.3f}s -> {throughput:,.0f} requests/s columnar "
+        f"({legacy_throughput:,.0f} legacy, {speedup:.1f}x) "
         f"(sim p95 {report.p95_latency_s:.3f}s)"
     )
     assert report.n_requests == SIM_REQUESTS
+    # The differential contract, asserted on the benchmark workload too:
+    # speed without bit-identical behaviour is a bug, not a result.
+    assert report.digest() == legacy_report.digest(), (
+        "columnar and legacy engines diverged on the benchmark workload"
+    )
+    assert speedup >= SIM_SPEEDUP_FLOOR, (
+        f"columnar engine only {speedup:.2f}x over legacy "
+        f"(floor {SIM_SPEEDUP_FLOOR}x)"
+    )
 
     _merge_output(
         {
@@ -350,6 +372,9 @@ def test_perf_serving_simulator(ic_cpu_measurements):
                 "n_requests": SIM_REQUESTS,
                 "wall_s": round(wall, 6),
                 "requests_per_s": round(throughput, 1),
+                "legacy_wall_s": round(legacy_wall, 6),
+                "legacy_requests_per_s": round(legacy_throughput, 1),
+                "speedup_vs_legacy": round(speedup, 2),
                 "sim_p95_latency_s": round(report.p95_latency_s, 6),
                 "smoke": SMOKE,
             }

@@ -35,6 +35,7 @@ METRICS = (
     ("rule_generator", "trials_per_s", +1),
     ("policy_evaluation", "rows_per_s", +1),
     ("serving_simulator", "requests_per_s", +1),
+    ("serving_simulator", "speedup_vs_legacy", +1),
     ("control_plane", "goodput_rps", +1),
     ("control_plane", "p95_latency_s", -1),
     ("control_plane", "node_seconds", -1),

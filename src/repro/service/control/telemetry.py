@@ -11,10 +11,14 @@ values through a plain event-hook interface — the hub's :meth:`publish`
 is just a ``callable(record, now)``, so the discrete-event engine (via
 its ``record_hooks``) and the synchronous gateway backends both feed it
 without importing anything from this package.  Internally the hub keeps a
-ring buffer (a bounded deque ordered by publish time); :meth:`snapshot`
-evicts entries older than the window and folds the survivors into a
-:class:`WindowSnapshot` — windowed p50/p95/p99, goodput, availability,
-node-seconds burn, and per-tier breakdowns.
+ring buffer (a bounded deque ordered by publish time) plus a parallel
+dense ``float64`` latency window (:class:`_FloatWindow`): answered
+responses land in a growing array whose live region advances in lockstep
+with ring eviction, so :meth:`snapshot` ranks windowed percentiles over a
+zero-copy array slice instead of rebuilding a Python list per snapshot.
+:meth:`snapshot` evicts entries older than the window and folds the
+survivors into a :class:`WindowSnapshot` — windowed p50/p95/p99, goodput,
+availability, node-seconds burn, and per-tier breakdowns.
 
 Windowed percentiles carry a small-N guard: a p95 ranked over a handful
 of samples is an artefact of quantile math, not a tail (with 4 samples
@@ -197,6 +201,52 @@ class WindowSnapshot:
         return window
 
 
+class _FloatWindow:
+    """A dense sliding window of ``float64`` samples.
+
+    Append-only at the tail, evict-only at the head — exactly the access
+    pattern of a trailing telemetry window.  Samples live in one numpy
+    buffer; :meth:`view` exposes the live region as a zero-copy slice, so
+    percentile ranking never materializes a Python list.  The buffer
+    grows geometrically; when it fills and more than half is dead space
+    (evicted head), the live region is compacted in place instead.
+    """
+
+    __slots__ = ("_buf", "_start", "_end")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._buf = np.empty(capacity, dtype=np.float64)
+        self._start = 0
+        self._end = 0
+
+    def __len__(self) -> int:
+        return self._end - self._start
+
+    def append(self, value: float) -> None:
+        """Push one sample at the tail."""
+        buf = self._buf
+        if self._end == buf.shape[0]:
+            live = self._end - self._start
+            if self._start > live:
+                # More than half the buffer is evicted head: reclaim it.
+                buf[:live] = buf[self._start : self._end]
+            else:
+                grown = np.empty(max(2 * buf.shape[0], 16), dtype=np.float64)
+                grown[:live] = buf[self._start : self._end]
+                self._buf = buf = grown
+            self._start, self._end = 0, live
+        buf[self._end] = value
+        self._end += 1
+
+    def pop_oldest(self) -> None:
+        """Evict the head sample (O(1): the live region just advances)."""
+        self._start += 1
+
+    def view(self) -> np.ndarray:
+        """The live window as a zero-copy ``float64`` slice."""
+        return self._buf[self._start : self._end]
+
+
 class TelemetryHub:
     """Ring-buffer sliding window over the per-request record stream.
 
@@ -222,7 +272,13 @@ class TelemetryHub:
             raise ValueError("min_percentile_samples must be at least 1")
         self.window_s = float(window_s)
         self.min_percentile_samples = int(min_percentile_samples)
-        self._ring: Deque[Tuple[float, object]] = deque(maxlen=max_records)
+        #: Ring entries are ``(publish_time, record, answered)``; the
+        #: third field marks records that contributed a sample to the
+        #: parallel latency window, so eviction keeps the two in step.
+        self._ring: Deque[Tuple[float, object, bool]] = deque(
+            maxlen=max_records
+        )
+        self._latencies = _FloatWindow()
         self._hooks: List[Callable[[object, float], None]] = []
         self._published = 0
         self._last_time = 0.0
@@ -254,7 +310,16 @@ class TelemetryHub:
                 f"{self._last_time:.6f}"
             )
         self._last_time = max(self._last_time, t)
-        self._ring.append((t, record))
+        answered = not getattr(record, "shed", False) and not record.failed
+        ring = self._ring
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            # The memory valve drops the oldest entry; do it explicitly
+            # so the latency window advances with it.
+            if ring.popleft()[2]:
+                self._latencies.pop_oldest()
+        ring.append((t, record, answered))
+        if answered:
+            self._latencies.append(record.response_time_s)
         self._published += 1
         for hook in self._hooks:
             hook(record, t)
@@ -273,8 +338,10 @@ class TelemetryHub:
     def _evict(self, now: float) -> None:
         horizon = now - self.window_s
         ring = self._ring
+        latencies = self._latencies
         while ring and ring[0][0] < horizon:
-            ring.popleft()
+            if ring.popleft()[2]:
+                latencies.pop_oldest()
 
     def snapshot(self, now: float) -> WindowSnapshot:
         """Aggregate the trailing window as of ``now``.
@@ -284,10 +351,13 @@ class TelemetryHub:
         which both producers guarantee.
         """
         self._evict(now)
-        records = [record for _, record in self._ring]
+        records = [entry[1] for entry in self._ring]
+        # Whole-stream percentiles rank over the parallel latency window:
+        # a zero-copy float64 slice, kept in lockstep with the ring, in
+        # the same publish order the old per-snapshot list had.
+        latencies = self._latencies.view()
         span = self.window_s if now >= self.window_s else max(now, 1e-9)
 
-        latencies: List[float] = []
         node_seconds: Dict[str, float] = {}
         n_failed = n_shed = n_degraded = 0
         cost_sum = 0.0
@@ -302,7 +372,6 @@ class TelemetryHub:
                 continue
             if getattr(r, "degraded", False):
                 n_degraded += 1
-            latencies.append(r.response_time_s)
             cost_sum += r.invocation_cost
             for version, seconds in r.node_seconds.items():
                 node_seconds[version] = node_seconds.get(version, 0.0) + seconds

@@ -76,8 +76,10 @@ class SimulatedBackend:
         control=None,
         control_measurements=None,
         seed: int = 0,
+        engine: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
+        self._engine_choice = engine
         self._batching = batching
         self._autoscaler_config = autoscaler_config
         self._faults = tuple(faults)
@@ -99,6 +101,7 @@ class SimulatedBackend:
         *,
         check_invariants: bool = False,
         selection_policy=None,
+        engine: Optional[str] = None,
     ) -> "SimulatedBackend":
         """Build a backend from a scenario spec's engine-facing fields.
 
@@ -117,6 +120,8 @@ class SimulatedBackend:
             check_invariants: Verify conservation laws at drain time.
             selection_policy: Within-pool node selection override
                 (join-shortest-queue by default).
+            engine: Execution engine override, forwarded to the
+                simulator (``None`` keeps its default resolution).
         """
         cluster = build_replay_cluster(
             measurements, dict(spec.pools), selection_policy=selection_policy
@@ -131,6 +136,7 @@ class SimulatedBackend:
             control=spec.control,
             control_measurements=measurements,
             seed=spec.seed,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -183,6 +189,7 @@ class SimulatedBackend:
             check_invariants=self._check_invariants,
             control=control,
             seed=self._seed,
+            engine=self._engine_choice,
         )
 
     def _engine(self) -> ServingSimulator:

@@ -62,7 +62,13 @@ from repro.service.simulation.replay import (
     build_replay_cluster,
     replay_pools,
 )
-from repro.service.simulation.report import LoadTestReport, RequestRecord
+from repro.service.simulation.report import (
+    Divergence,
+    LoadTestReport,
+    RecordColumns,
+    RequestRecord,
+    first_divergence,
+)
 from repro.service.simulation.scenarios import (
     ScenarioSpec,
     canonical_scenarios,
@@ -77,6 +83,7 @@ __all__ = [
     "AutoscalerConfig",
     "BatchingConfig",
     "BurstyArrivals",
+    "Divergence",
     "DiurnalArrivals",
     "Event",
     "EventLoop",
@@ -88,6 +95,7 @@ __all__ = [
     "NodeCrash",
     "NodeSlowdown",
     "PoissonArrivals",
+    "RecordColumns",
     "RequestRecord",
     "RetryPolicy",
     "ScalingEvent",
@@ -98,6 +106,7 @@ __all__ = [
     "TransientFaults",
     "build_replay_cluster",
     "canonical_scenarios",
+    "first_divergence",
     "osfa_configuration",
     "replay_pools",
     "run_scenario",

@@ -69,7 +69,8 @@ reconcile it at drain time.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,6 +87,11 @@ from repro.service.request import Objective, ServiceRequest
 from repro.service.simulation.arrivals import ArrivalProcess
 from repro.service.simulation.autoscaler import Autoscaler
 from repro.service.simulation.batching import BatchingConfig
+from repro.service.simulation.columnar import (
+    ColumnarFallback,
+    columnar_ineligibility,
+    run_columnar,
+)
 from repro.service.simulation.events import Event, EventLoop
 from repro.service.simulation.faults import (
     FaultEvent,
@@ -102,6 +108,28 @@ __all__ = ["ServingSimulator"]
 
 #: Safety valve: no sane load test needs more events than this.
 _MAX_EVENTS = 10_000_000
+
+#: Environment override for the default execution engine (see the
+#: ``engine`` constructor argument).  The test matrix uses it to run the
+#: whole suite under either engine without threading a parameter through
+#: every call site.
+_ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+_ENGINES = ("columnar", "legacy")
+
+#: Generated request ids are deterministic ("load_%06d" over the
+#: submission counter), so a process-wide cache amortizes string
+#: formatting across runs — the bulk path's second-largest fixed cost.
+_LOAD_ID_CACHE: List[str] = []
+
+
+def _load_ids(base: int, count: int) -> List[str]:
+    """``["load_%06d" % i for i in range(base, base + count)]``, memoized."""
+    end = base + count
+    cache = _LOAD_ID_CACHE
+    if end > len(cache):
+        cache.extend("load_%06d" % i for i in range(len(cache), end))
+    return cache[base:end]
 
 
 class _InFlight:
@@ -247,6 +275,16 @@ class ServingSimulator:
         seed: Seed for arrival sampling and payload choice (transient
             fault draws use a generator derived from it, so healthy and
             faulty runs see identical arrivals).
+        engine: Execution engine: ``"columnar"`` (default) defers
+            submissions and drains them through the vectorized hot path
+            in :mod:`repro.service.simulation.columnar` whenever the run
+            is fault-free, open-loop and fixed-configuration over a
+            replay cluster — falling back to the legacy event loop
+            (bit-identically, see ``fallback_reason``) otherwise;
+            ``"legacy"`` pins the original scalar event loop, the
+            correctness oracle of the differential test harness.  When
+            ``None``, the ``REPRO_SIM_ENGINE`` environment variable
+            decides, defaulting to ``"columnar"``.
     """
 
     def __init__(
@@ -263,7 +301,30 @@ class ServingSimulator:
         control=None,
         record_hooks: Sequence[Any] = (),
         seed: int = 0,
+        engine: Optional[str] = None,
     ) -> None:
+        if engine is None:
+            engine = os.environ.get(_ENGINE_ENV) or "columnar"
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose one of {_ENGINES}"
+            )
+        #: The requested engine ("columnar" may still fall back per run).
+        self.engine = engine
+        #: Engine that actually drained the run ("columnar"/"legacy"),
+        #: set by :meth:`drain`.
+        self.engine_used: Optional[str] = None
+        #: Why a columnar-requested run fell back to the legacy path.
+        self.fallback_reason: Optional[str] = None
+        #: Deferred (request, at_time) submissions in columnar mode.
+        self._submissions: List[Tuple[ServiceRequest, float]] = []
+        #: Bulk workload from :meth:`run` in columnar mode:
+        #: ``(request_ids, payloads, tolerance, objective, at_times)``.
+        #: Kept as columns — ServiceRequest objects are only materialized
+        #: if the run falls back to the legacy engine.
+        self._bulk: Optional[
+            Tuple[List[str], List[Any], float, Objective, List[float]]
+        ] = None
         if (router is None) == (configuration is None):
             raise ValueError("supply exactly one of router / configuration")
         self.cluster = cluster
@@ -358,6 +419,19 @@ class ServingSimulator:
                 "is single-use — build a new one for another load test"
             )
         self._remaining += 1
+        if self.engine == "columnar":
+            # Defer: the columnar drain consumes submissions directly; a
+            # fallback replays them into the event loop at drain time, in
+            # this same order, so they take exactly the sequence numbers
+            # the legacy engine would have assigned.  The validation the
+            # loop would have done at schedule time happens here.
+            if at_time < self._loop.now:
+                raise ValueError(
+                    f"cannot schedule at t={at_time:.6f} "
+                    f"before now={self._loop.now:.6f}"
+                )
+            self._submissions.append((request, at_time))
+            return
         self._loop.schedule_at(
             at_time, lambda r=request: self._on_arrival(r), kind="arrival"
         )
@@ -388,23 +462,85 @@ class ServingSimulator:
             if not ids:
                 raise ValueError("payload_ids must be non-empty when given")
             picks = self._rng.integers(0, len(ids), size=n_requests)
-        for i, at_time in enumerate(times):
-            request_id = f"load_{self._counter:06d}"
-            self._counter += 1
-            payload = ids[picks[i]] if payload_ids is not None else request_id
-            self.submit(
-                ServiceRequest(
-                    request_id=request_id,
-                    payload=payload,
-                    tolerance=tolerance,
-                    objective=objective,
-                ),
-                at_time=float(at_time),
-            )
+        at_times = (
+            times.tolist()
+            if isinstance(times, np.ndarray)
+            else [float(t) for t in times]
+        )
+        if self.engine == "columnar" and not self._drained and at_times:
+            # Bulk columnar path: the workload stays as columns (ids,
+            # payloads, times) and never materializes a ServiceRequest —
+            # object construction dominated the submit phase.  Ids are
+            # formatted exactly as the per-request path would, and a
+            # legacy fallback rebuilds field-identical requests at drain.
+            base = self._counter
+            count = len(at_times)
+            request_ids = _load_ids(base, count)
+            self._counter = base + count
+            if payload_ids is not None:
+                payloads: List[Any] = [
+                    ids[p] for p in picks[:count].tolist()
+                ]
+            else:
+                payloads = request_ids
+            if min(at_times) < self._loop.now:
+                # Mirror submit(): fail on the first offending time, with
+                # the earlier submissions already counted.
+                for index, at_time in enumerate(at_times):
+                    if at_time < self._loop.now:
+                        self._counter = base + index + 1
+                        self._remaining += index + 1
+                        raise ValueError(
+                            f"cannot schedule at t={at_time:.6f} "
+                            f"before now={self._loop.now:.6f}"
+                        )
+            self._remaining += count
+            self._bulk = (request_ids, payloads, tolerance, objective, at_times)
+        else:
+            for i, at_time in enumerate(at_times):
+                request_id = f"load_{self._counter:06d}"
+                self._counter += 1
+                payload = (
+                    ids[picks[i]] if payload_ids is not None else request_id
+                )
+                self.submit(
+                    ServiceRequest(
+                        request_id=request_id,
+                        payload=payload,
+                        tolerance=tolerance,
+                        objective=objective,
+                    ),
+                    at_time=float(at_time),
+                )
         report = self.drain()
         span = float(times[-1] - times[0])
         report.offered_rate = n_requests / span if span > 0.0 else None
         return report
+
+    def _submission_columns(
+        self,
+    ) -> Tuple[List[str], List[Any], List[float], List[float]]:
+        """Deferred submissions as ``(ids, payloads, tolerances, times)``
+        columns in submission order — explicit :meth:`submit` calls first,
+        then the bulk workload from :meth:`run`, exactly the order the
+        legacy engine would have scheduled their arrival events in."""
+        ids = [r.request_id for r, _ in self._submissions]
+        payloads: List[Any] = [r.payload for r, _ in self._submissions]
+        tolerances = [r.tolerance for r, _ in self._submissions]
+        times = [t for _, t in self._submissions]
+        if self._bulk is not None:
+            bulk_ids, bulk_payloads, tolerance, _objective, bulk_times = (
+                self._bulk
+            )
+            if ids:
+                ids = ids + bulk_ids
+                payloads = payloads + bulk_payloads
+                tolerances = tolerances + [tolerance] * len(bulk_ids)
+                times = times + bulk_times
+            else:
+                ids, payloads, times = bulk_ids, bulk_payloads, bulk_times
+                tolerances = [tolerance] * len(bulk_ids)
+        return ids, payloads, tolerances, times
 
     # ------------------------------------------------------------------
     # draining
@@ -416,6 +552,58 @@ class ServingSimulator:
         still parked behind dead pools when the loop empties resolve as
         failed requests (capacity never came back for them).
         """
+        if self.engine == "columnar":
+            reason = columnar_ineligibility(self)
+            if reason is None:
+                try:
+                    report = run_columnar(self, self._submission_columns())
+                except ColumnarFallback as exc:
+                    # Data-level ineligibility (duplicate ids, payloads
+                    # outside the measurement table) surfaces during the
+                    # columnar precomputation, before any state changes.
+                    reason = str(exc)
+                else:
+                    self.engine_used = "columnar"
+                    self._drained = True
+                    self._remaining = 0
+                    self._submissions = []
+                    self._bulk = None
+                    return report
+            # Fall back to the legacy loop: replay the deferred
+            # submissions in submission order, so their events hold the
+            # same sequence numbers (hence the same tie-breaks) as if
+            # they had been scheduled at submit time.  Bulk workload rows
+            # materialize the ServiceRequest objects run() skipped.
+            self.fallback_reason = reason
+            self.engine_used = "legacy"
+            for request, at_time in self._submissions:
+                self._loop.schedule_at(
+                    at_time,
+                    lambda r=request: self._on_arrival(r),
+                    kind="arrival",
+                )
+            self._submissions = []
+            if self._bulk is not None:
+                bulk_ids, bulk_payloads, tolerance, objective, bulk_times = (
+                    self._bulk
+                )
+                for request_id, payload, at_time in zip(
+                    bulk_ids, bulk_payloads, bulk_times
+                ):
+                    request = ServiceRequest(
+                        request_id=request_id,
+                        payload=payload,
+                        tolerance=tolerance,
+                        objective=objective,
+                    )
+                    self._loop.schedule_at(
+                        at_time,
+                        lambda r=request: self._on_arrival(r),
+                        kind="arrival",
+                    )
+                self._bulk = None
+        else:
+            self.engine_used = "legacy"
         if self._autoscaler is not None and not self._tick_scheduled:
             self._tick_scheduled = True
             self._loop.schedule(

@@ -42,9 +42,18 @@ class MeasurementReplayVersion:
     def __init__(self, measurements: MeasurementSet, version: str) -> None:
         self.name = version
         self._column = measurements.version_index(version)
-        self._rows: Dict[str, int] = {
-            rid: i for i, rid in enumerate(measurements.request_ids)
-        }
+        # The id->row map depends only on the measurement set's row order,
+        # so every version (and every rebuild of the same cluster) shares
+        # one dict cached on the set — rebuilding it per version dominated
+        # cluster construction for large tables.
+        ids = measurements.request_ids
+        cached = measurements.__dict__.get("_replay_rows")
+        if cached is not None and cached[0] is ids:
+            rows = cached[1]
+        else:
+            rows = {rid: i for i, rid in enumerate(ids)}
+            measurements.__dict__["_replay_rows"] = (ids, rows)
+        self._rows: Dict[str, int] = rows
         self._measurements = measurements
         self._baseline_scale = measurements.instance_for(version).speed_factor
 

@@ -25,14 +25,20 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.service.simulation.autoscaler import ScalingEvent
 from repro.service.simulation.faults import FaultLogEntry
 
-__all__ = ["LoadTestReport", "RequestRecord"]
+__all__ = [
+    "Divergence",
+    "LoadTestReport",
+    "RecordColumns",
+    "RequestRecord",
+    "first_divergence",
+]
 
 
 @dataclass(frozen=True)
@@ -281,6 +287,50 @@ class LoadTestReport:
         }
 
     # ------------------------------------------------------------------
+    # columnar construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        columns: "RecordColumns",
+        *,
+        scaling_events: Optional[List[ScalingEvent]] = None,
+        final_pool_sizes: Optional[Dict[str, int]] = None,
+        offered_rate: Optional[float] = None,
+        fault_log: Optional[List[FaultLogEntry]] = None,
+        control_log: Optional[List[object]] = None,
+    ) -> "LoadTestReport":
+        """Build a report directly from dense per-request columns.
+
+        The columnar engine finishes a run holding arrays, not
+        :class:`RequestRecord` objects; materializing ~10^5 frozen
+        dataclasses just to aggregate them again would throw away most of
+        the speedup.  This constructor wires the arrays straight into the
+        aggregate machinery (``_latencies`` comes from a masked array
+        view) and exposes ``records`` as a lazy sequence that
+        materializes a :class:`RequestRecord` only when someone actually
+        indexes or iterates it — ``digest()``, ``summary()`` and every
+        existing consumer see the exact per-record values the legacy
+        engine would have produced.
+        """
+        if len(columns) == 0:
+            raise ValueError("a load test report needs at least one record")
+        report = cls.__new__(cls)
+        report.records = _ColumnarRecords(columns)
+        report.scaling_events = list(scaling_events) if scaling_events else []
+        report.final_pool_sizes = (
+            dict(final_pool_sizes) if final_pool_sizes else {}
+        )
+        report.offered_rate = offered_rate
+        report.fault_log = list(fault_log) if fault_log else []
+        report.control_log = list(control_log) if control_log else []
+        ok = ~(columns.failed | columns.shed)
+        report._latencies = np.asarray(
+            columns.response_time_s[ok], dtype=float
+        )
+        return report
+
+    # ------------------------------------------------------------------
     # determinism
     # ------------------------------------------------------------------
     def digest(self) -> str:
@@ -336,3 +386,276 @@ class LoadTestReport:
                 ).encode()
             )
         return h.hexdigest()
+
+
+class RecordColumns:
+    """Dense per-request state, one array per :class:`RequestRecord` field.
+
+    The columnar engine's end-of-run product: request identity and payload
+    stay Python lists (they are arbitrary objects), every numeric field is
+    a float64/bool/int64 array in completion order.  A two-leg ensemble
+    bills at most two versions per request, so node-seconds are two dense
+    columns — ``node_seconds_accurate`` holds ``-1.0`` where the accurate
+    leg consumed no billed time (node-seconds are never negative, so the
+    sentinel is unambiguous).
+    """
+
+    __slots__ = (
+        "request_ids",
+        "payloads",
+        "tier",
+        "arrival_s",
+        "finished_s",
+        "response_time_s",
+        "queue_wait_s",
+        "escalated",
+        "invocation_cost",
+        "fast_version",
+        "accurate_version",
+        "node_seconds_fast",
+        "node_seconds_accurate",
+        "confidence",
+        "failed",
+        "retries",
+        "shed",
+        "degraded",
+    )
+
+    def __init__(
+        self,
+        *,
+        request_ids: List[str],
+        payloads: List[object],
+        tier: np.ndarray,
+        arrival_s: np.ndarray,
+        finished_s: np.ndarray,
+        response_time_s: np.ndarray,
+        queue_wait_s: np.ndarray,
+        escalated: np.ndarray,
+        invocation_cost: np.ndarray,
+        fast_version: str,
+        accurate_version: Optional[str],
+        node_seconds_fast: np.ndarray,
+        node_seconds_accurate: np.ndarray,
+        confidence: np.ndarray,
+        failed: Optional[np.ndarray] = None,
+        retries: Optional[np.ndarray] = None,
+        shed: Optional[np.ndarray] = None,
+        degraded: Optional[np.ndarray] = None,
+    ) -> None:
+        n = len(request_ids)
+        self.request_ids = request_ids
+        self.payloads = payloads
+        self.tier = tier
+        self.arrival_s = arrival_s
+        self.finished_s = finished_s
+        self.response_time_s = response_time_s
+        self.queue_wait_s = queue_wait_s
+        self.escalated = escalated
+        self.invocation_cost = invocation_cost
+        self.fast_version = fast_version
+        self.accurate_version = accurate_version
+        self.node_seconds_fast = node_seconds_fast
+        self.node_seconds_accurate = node_seconds_accurate
+        self.confidence = confidence
+        self.failed = failed if failed is not None else np.zeros(n, dtype=bool)
+        self.retries = (
+            retries if retries is not None else np.zeros(n, dtype=np.int64)
+        )
+        self.shed = shed if shed is not None else np.zeros(n, dtype=bool)
+        self.degraded = (
+            degraded if degraded is not None else np.zeros(n, dtype=bool)
+        )
+
+    def __len__(self) -> int:
+        return len(self.request_ids)
+
+    def record(self, index: int) -> RequestRecord:
+        """Materialize one row as the :class:`RequestRecord` the legacy
+        engine would have emitted (all floats converted back to Python
+        floats, so formatting and hashing behave identically)."""
+        accurate = float(self.node_seconds_accurate[index])
+        if self.accurate_version is not None and accurate >= 0.0:
+            versions_used: Tuple[str, ...] = (
+                self.fast_version,
+                self.accurate_version,
+            )
+            node_seconds = {
+                self.fast_version: float(self.node_seconds_fast[index]),
+                self.accurate_version: accurate,
+            }
+        else:
+            versions_used = (self.fast_version,)
+            node_seconds = {
+                self.fast_version: float(self.node_seconds_fast[index])
+            }
+        return RequestRecord(
+            request_id=self.request_ids[index],
+            payload=self.payloads[index],
+            tier=float(self.tier[index]),
+            arrival_s=float(self.arrival_s[index]),
+            finished_s=float(self.finished_s[index]),
+            response_time_s=float(self.response_time_s[index]),
+            queue_wait_s=float(self.queue_wait_s[index]),
+            versions_used=versions_used,
+            escalated=bool(self.escalated[index]),
+            invocation_cost=float(self.invocation_cost[index]),
+            node_seconds=node_seconds,
+            failed=bool(self.failed[index]),
+            retries=int(self.retries[index]),
+            result=self.payloads[index],
+            confidence=float(self.confidence[index]),
+            shed=bool(self.shed[index]),
+            degraded=bool(self.degraded[index]),
+        )
+
+
+class _ColumnarRecords(Sequence):
+    """Lazy ``records`` sequence over :class:`RecordColumns`.
+
+    Aggregates that only need arrays never pay for record objects; code
+    that iterates ``report.records`` (the digest, the invariant checker,
+    tests) gets real :class:`RequestRecord` instances, built on first
+    access and cached.
+    """
+
+    __slots__ = ("_columns", "_cache")
+
+    def __init__(self, columns: RecordColumns) -> None:
+        self._columns = columns
+        self._cache: List[Optional[RequestRecord]] = [None] * len(columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        record = self._cache[index]
+        if record is None:
+            record = self._columns.record(index)
+            self._cache[index] = record
+        return record
+
+    def __iter__(self) -> Iterator[RequestRecord]:
+        for i in range(len(self)):
+            yield self[i]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First observable difference between two reports.
+
+    ``where`` names the stream (``record``, ``pool``, ``fault``,
+    ``control`` or ``length``), ``index`` the position in that stream,
+    ``field`` the diverging record field (record stream only).
+    """
+
+    where: str
+    index: Optional[int]
+    field: Optional[str]
+    left: object
+    right: object
+
+    def describe(self, left_name: str = "left", right_name: str = "right") -> str:
+        place = f"{self.where}[{self.index}]" if self.index is not None else self.where
+        if self.field:
+            place += f".{self.field}"
+        return (
+            f"first divergence at {place}:\n"
+            f"  {left_name:>8}: {self.left!r}\n"
+            f"  {right_name:>8}: {self.right!r}"
+        )
+
+
+#: Record fields the digest covers, compared in digest order.
+_DIGEST_RECORD_FIELDS = (
+    "request_id",
+    "payload",
+    "tier",
+    "arrival_s",
+    "finished_s",
+    "versions_used",
+    "escalated",
+    "failed",
+    "retries",
+    "invocation_cost",
+    "node_seconds",
+    "shed",
+    "degraded",
+)
+
+_FLOAT_RECORD_FIELDS = frozenset({"tier", "arrival_s", "finished_s", "invocation_cost"})
+
+
+def _render_field(name: str, value: object) -> str:
+    """Render a record field exactly as :meth:`LoadTestReport.digest` does,
+    so ``first_divergence`` flags precisely what the digest flags."""
+    if name in _FLOAT_RECORD_FIELDS:
+        return f"{value:.12e}"
+    if name == "node_seconds":
+        return ",".join(f"{v}={value[v]:.12e}" for v in sorted(value))
+    if name == "versions_used":
+        return ",".join(value)
+    if name in ("escalated", "failed", "shed", "degraded"):
+        return str(int(value))
+    return str(value)
+
+
+def first_divergence(
+    left: LoadTestReport, right: LoadTestReport
+) -> Optional[Divergence]:
+    """Locate the first digest-visible difference between two reports.
+
+    Walks the record stream field by field (in digest rendering, so a
+    sub-last-significant-digit float wiggle that the digest would not see
+    is not reported), then the pool sizes, the fault log and the control
+    log.  Returns ``None`` when the two reports digest identically.
+    """
+    n = min(len(left.records), len(right.records))
+    for i in range(n):
+        record_l, record_r = left.records[i], right.records[i]
+        for name in _DIGEST_RECORD_FIELDS:
+            value_l = getattr(record_l, name)
+            value_r = getattr(record_r, name)
+            if _render_field(name, value_l) != _render_field(name, value_r):
+                return Divergence("record", i, name, value_l, value_r)
+    if len(left.records) != len(right.records):
+        return Divergence(
+            "length", None, "n_records", len(left.records), len(right.records)
+        )
+    if left.final_pool_sizes != right.final_pool_sizes:
+        return Divergence(
+            "pool", None, None, left.final_pool_sizes, right.final_pool_sizes
+        )
+    for i, (entry_l, entry_r) in enumerate(
+        zip(left.fault_log, right.fault_log)
+    ):
+        key_l = (f"{entry_l.time_s:.12e}", entry_l.kind, entry_l.version, entry_l.detail)
+        key_r = (f"{entry_r.time_s:.12e}", entry_r.kind, entry_r.version, entry_r.detail)
+        if key_l != key_r:
+            return Divergence("fault", i, None, entry_l, entry_r)
+    if len(left.fault_log) != len(right.fault_log):
+        return Divergence(
+            "length", None, "n_faults", len(left.fault_log), len(right.fault_log)
+        )
+    for i, (entry_l, entry_r) in enumerate(
+        zip(left.control_log, right.control_log)
+    ):
+        key_l = (f"{entry_l.time_s:.12e}", entry_l.kind, entry_l.detail)
+        key_r = (f"{entry_r.time_s:.12e}", entry_r.kind, entry_r.detail)
+        if key_l != key_r:
+            return Divergence("control", i, None, entry_l, entry_r)
+    if len(left.control_log) != len(right.control_log):
+        return Divergence(
+            "length",
+            None,
+            "n_control",
+            len(left.control_log),
+            len(right.control_log),
+        )
+    return None

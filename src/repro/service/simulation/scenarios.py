@@ -129,6 +129,7 @@ def run_scenario(
     *,
     check_invariants: bool = False,
     selection_policy=None,
+    engine=None,
 ) -> LoadTestReport:
     """Inflate a scenario against a measurement table and run it.
 
@@ -146,6 +147,9 @@ def run_scenario(
         selection_policy: Within-pool node selection override, forwarded
             to :func:`~repro.service.simulation.replay.build_replay_cluster`
             (join-shortest-queue by default).
+        engine: Execution engine override, forwarded to
+            :class:`~repro.service.simulation.engine.ServingSimulator`
+            (``None`` keeps the simulator's own default resolution).
     """
     cluster = build_replay_cluster(
         measurements, dict(spec.pools), selection_policy=selection_policy
@@ -178,6 +182,7 @@ def run_scenario(
         check_invariants=check_invariants,
         control=control,
         seed=spec.seed,
+        engine=engine,
     )
     return simulator.run(
         spec.arrivals,

@@ -70,3 +70,29 @@ def ic_gpu_measurements():
 def rng():
     """A fresh seeded generator per test."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(
+    params=[
+        "legacy",
+        pytest.param(
+            "columnar",
+            marks=[pytest.mark.slow, pytest.mark.sim_engine_matrix],
+        ),
+    ]
+)
+def sim_engine(request, monkeypatch):
+    """Which simulator execution engine the test runs under.
+
+    The simulator suites (``tests/service``, ``tests/gateway``,
+    ``tests/control``) activate this fixture autouse via their local
+    conftests, so every test there runs once per engine — the columnar
+    leg is the differential half of the dual-engine harness (see
+    ``docs/PERFORMANCE.md``).  The columnar parameter carries the
+    ``slow`` marker: the fast CI tier (``-m "not slow"``) pins the
+    legacy oracle to keep push latency flat, the full tier runs both.
+    Tests that drive both engines explicitly (the differential suite)
+    shadow this fixture to opt out of the doubling.
+    """
+    monkeypatch.setenv("REPRO_SIM_ENGINE", request.param)
+    return request.param

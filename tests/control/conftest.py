@@ -1,0 +1,14 @@
+"""Engine-matrix activation for the control-plane suite.
+
+Every test in this directory runs under both execution engines via the
+root ``sim_engine`` fixture (legacy in the fast tier, legacy + columnar
+in the full tier); the engine arrives through the ``REPRO_SIM_ENGINE``
+environment override, so no call site needs an explicit parameter.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _sim_engine_matrix(sim_engine):
+    return sim_engine

@@ -1,0 +1,476 @@
+"""Dual-engine differential harness: columnar vs the legacy oracle.
+
+The columnar engine's whole correctness argument is *differential*: the
+legacy scalar engine is retained verbatim as the oracle, and every
+behaviour the report digest observes must be bit-identical between the
+two.  This file is that argument, run continuously:
+
+1. **Canonical scenarios** — all six degraded modes, in both fast mode
+   and full invariant-checking mode, digest-identical across engines.
+2. **Golden traces** — the columnar engine reproduces the PR 3 pinned
+   digests directly from the checked-in golden files.
+3. **Fuzzed scenario space** — :data:`N_SPECS` seeded random specs over
+   arrivals x pools x policies x batching x autoscaling x faults x
+   retries x control (enabled and disabled), each run under both
+   engines with the invariant checker on (conservation laws) and
+   compared digest-for-digest plus control-log-for-control-log.
+4. **Eligibility** — the specs the columnar fast path claims to handle
+   really run columnar (``engine_used`` says so), and the ones it must
+   not handle fall back to legacy with a stated reason.
+5. **Edge cases** — zero-request drains and single-request runs behave
+   identically at the engine boundary.
+
+Digest mismatches do not fail as two opaque hashes: the assertion
+helper walks both reports with
+:func:`~repro.service.simulation.first_divergence` and names the first
+diverging field, record index and both values.
+
+Seeds below :data:`FAST_SPECS` run in the fast tier; the rest carry the
+``slow`` marker.  This module drives both engines explicitly, so it
+shadows the suite-wide ``sim_engine`` matrix fixture to run once.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import EnsembleConfiguration
+from repro.core.policies import (
+    ConcurrentPolicy,
+    EarlyTerminationPolicy,
+    SequentialPolicy,
+    SingleVersionPolicy,
+)
+from repro.service.control import AdmissionSpec, ControlSpec, SLOSpec
+from repro.service.load_balancer import (
+    JoinShortestQueuePolicy,
+    LeastBusyPolicy,
+    RoundRobinPolicy,
+)
+from repro.service.simulation import (
+    AutoscalerConfig,
+    BatchingConfig,
+    BurstyArrivals,
+    DiurnalArrivals,
+    NodeCrash,
+    NodeSlowdown,
+    PoissonArrivals,
+    RetryPolicy,
+    ScenarioSpec,
+    ServingSimulator,
+    SpikeArrivals,
+    TransientFaults,
+    build_replay_cluster,
+    canonical_scenarios,
+    first_divergence,
+    run_scenario,
+    scenario_measurements,
+)
+
+N_SPECS = 50
+FAST_SPECS = 20
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+@pytest.fixture
+def sim_engine():
+    """Shadow the engine matrix: this module runs both engines itself."""
+    return None
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return scenario_measurements()
+
+
+# ----------------------------------------------------------------------
+# assertion helpers (satellite: structured divergence instead of hashes)
+# ----------------------------------------------------------------------
+def assert_reports_identical(legacy, columnar):
+    """Digest equality, explained: on mismatch, name the first diverging
+    field and both values instead of printing two opaque hashes."""
+    if legacy.digest() == columnar.digest():
+        return
+    divergence = first_divergence(legacy, columnar)
+    if divergence is None:
+        pytest.fail(
+            "digests differ but no field-level divergence found — "
+            "digest and first_divergence disagree on what they cover"
+        )
+    pytest.fail(divergence.describe("legacy", "columnar"))
+
+
+def control_log_digest(report):
+    """Standalone digest of just the control-plane action stream."""
+    h = hashlib.sha256()
+    for entry in report.control_log:
+        h.update(
+            f"{entry.time_s:.12e}|{entry.kind}|{entry.detail}\n".encode()
+        )
+    return h.hexdigest()
+
+
+def run_both(spec, toy, *, check_invariants=True, selection_policy=None):
+    legacy = run_scenario(
+        spec,
+        toy,
+        check_invariants=check_invariants,
+        selection_policy=selection_policy() if selection_policy else None,
+        engine="legacy",
+    )
+    columnar = run_scenario(
+        spec,
+        toy,
+        check_invariants=check_invariants,
+        selection_policy=selection_policy() if selection_policy else None,
+        engine="columnar",
+    )
+    return legacy, columnar
+
+
+# ----------------------------------------------------------------------
+# canonical scenarios and golden traces
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("check_invariants", [False, True], ids=["fast", "checked"])
+@pytest.mark.parametrize("name", sorted(canonical_scenarios()))
+def test_canonical_scenarios_digest_identical(name, check_invariants, toy):
+    spec = canonical_scenarios()[name]
+    legacy, columnar = run_both(spec, toy, check_invariants=check_invariants)
+    assert_reports_identical(legacy, columnar)
+    assert control_log_digest(legacy) == control_log_digest(columnar)
+
+
+@pytest.mark.parametrize("name", ("baseline", "node-crash", "flaky"))
+def test_columnar_reproduces_golden_traces(name, toy):
+    """The columnar engine matches the PR 3 pinned digests directly."""
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    spec = canonical_scenarios()[name]
+    report = run_scenario(spec, toy, check_invariants=True, engine="columnar")
+    assert report.digest() == golden["digest"], (
+        f"columnar run of {name!r} no longer matches its golden trace"
+    )
+
+
+# ----------------------------------------------------------------------
+# fuzzed scenario space
+# ----------------------------------------------------------------------
+def _random_policy(rng):
+    kind = rng.integers(0, 5)
+    threshold = float(rng.choice([0.4, 0.5, 0.6, 0.7]))
+    if kind == 0:
+        return SingleVersionPolicy("fast")
+    if kind == 1:
+        return SingleVersionPolicy("slow")
+    if kind == 2:
+        return SequentialPolicy("fast", "slow", threshold)
+    if kind == 3:
+        return ConcurrentPolicy("fast", "slow", threshold)
+    return EarlyTerminationPolicy("fast", "slow", threshold)
+
+
+def _random_arrivals(rng):
+    kind = rng.integers(0, 4)
+    rate = float(rng.uniform(1.0, 6.0))
+    if kind == 0:
+        return PoissonArrivals(rate)
+    if kind == 1:
+        return BurstyArrivals(rate, rate * 5.0, mean_calm_s=4.0, mean_burst_s=1.0)
+    if kind == 2:
+        return SpikeArrivals(
+            rate,
+            spike_start_s=float(rng.uniform(1.0, 5.0)),
+            spike_duration_s=float(rng.uniform(1.0, 4.0)),
+            spike_multiplier=float(rng.uniform(2.0, 6.0)),
+        )
+    return DiurnalArrivals(
+        rate,
+        amplitude=float(rng.uniform(0.2, 0.8)),
+        period_s=float(rng.uniform(10.0, 40.0)),
+    )
+
+
+def _random_faults(rng, versions):
+    faults = []
+    for _ in range(int(rng.integers(1, 4))):
+        version = str(rng.choice(versions))
+        kind = rng.integers(0, 3)
+        at = float(rng.uniform(0.5, 8.0))
+        if kind == 0:
+            faults.append(
+                NodeCrash(
+                    at_s=at,
+                    version=version,
+                    node_index=int(rng.integers(0, 3)),
+                    recover_at_s=at + float(rng.uniform(1.0, 6.0))
+                    if rng.uniform() < 0.7
+                    else None,
+                )
+            )
+        elif kind == 1:
+            faults.append(
+                NodeSlowdown(
+                    at_s=at,
+                    version=version,
+                    node_index=int(rng.integers(0, 3)),
+                    speed_factor=float(rng.uniform(0.1, 0.8)),
+                    until_s=at + float(rng.uniform(1.0, 8.0))
+                    if rng.uniform() < 0.7
+                    else None,
+                )
+            )
+        else:
+            faults.append(
+                TransientFaults(
+                    start_s=at,
+                    end_s=at + float(rng.uniform(1.0, 8.0)),
+                    failure_probability=float(rng.uniform(0.1, 0.9)),
+                    versions=(version,) if rng.uniform() < 0.7 else None,
+                )
+            )
+    return tuple(faults)
+
+
+def _random_control(rng):
+    """A closed-loop spec that actually acts under load: a tight latency
+    SLO plus either probabilistic shedding or forced degradation."""
+    return ControlSpec(
+        window_s=float(rng.uniform(3.0, 8.0)),
+        tick_interval_s=float(rng.uniform(0.25, 0.75)),
+        slos=(
+            SLOSpec(
+                name="latency",
+                max_p95_latency_s=float(rng.uniform(0.5, 2.0)),
+                breach_after=int(rng.integers(1, 3)),
+                clear_after=int(rng.integers(2, 6)),
+            ),
+        ),
+        admission=AdmissionSpec(policy="probabilistic", shed_probability=0.8)
+        if rng.uniform() < 0.5
+        else AdmissionSpec(policy="degrade"),
+    )
+
+
+#: Within-pool selection policies the fuzz sweeps over (fresh instance
+#: per run: round-robin carries a cursor).
+_SELECTION = (None, JoinShortestQueuePolicy, LeastBusyPolicy, RoundRobinPolicy)
+
+
+def _random_spec(seed):
+    rng = np.random.default_rng([seed, 20260808])
+    policy = _random_policy(rng)
+    versions = tuple({v: None for v in policy.versions})
+    pools = {v: int(rng.integers(1, 4)) for v in versions}
+    with_faults = rng.uniform() < 0.4
+    with_control = rng.uniform() < 0.35
+    spec = ScenarioSpec(
+        name=f"diff-{seed}",
+        arrivals=_random_arrivals(rng),
+        n_requests=int(rng.integers(30, 70)),
+        pools=pools,
+        configuration=EnsembleConfiguration(f"cfg_{seed}", policy),
+        batching=BatchingConfig(
+            max_batch_size=int(rng.integers(1, 6)),
+            max_wait_s=float(rng.uniform(0.0, 0.1)),
+        )
+        if rng.uniform() < 0.6
+        else None,
+        autoscaler_config=AutoscalerConfig(
+            min_nodes=1,
+            max_nodes=int(rng.integers(3, 6)),
+            scale_up_queue_depth=float(rng.uniform(1.0, 4.0)),
+            evaluation_interval_s=float(rng.uniform(0.25, 1.0)),
+            cooldown_s=float(rng.uniform(0.0, 1.0)),
+        )
+        if rng.uniform() < 0.3
+        else None,
+        retry=RetryPolicy(
+            max_attempts=int(rng.integers(2, 4)),
+            backoff_s=float(rng.uniform(0.0, 0.1)),
+        )
+        if with_faults
+        else RetryPolicy(),
+        faults=_random_faults(rng, versions) if with_faults else (),
+        control=_random_control(rng) if with_control else None,
+        seed=seed,
+    )
+    selection = _SELECTION[int(rng.integers(0, len(_SELECTION)))]
+    return spec, selection
+
+
+def _marked_seeds():
+    return [
+        pytest.param(seed, marks=pytest.mark.slow) if seed >= FAST_SPECS else seed
+        for seed in range(N_SPECS)
+    ]
+
+
+@pytest.mark.parametrize("seed", _marked_seeds())
+def test_fuzzed_specs_digest_identical(seed, toy):
+    """Both engines agree — digests, conservation laws, control logs —
+    across the randomized scenario space."""
+    spec, selection = _random_spec(seed)
+    legacy, columnar = run_both(
+        spec, toy, check_invariants=True, selection_policy=selection
+    )
+    assert_reports_identical(legacy, columnar)
+    assert control_log_digest(legacy) == control_log_digest(columnar)
+    assert legacy.n_requests == spec.n_requests
+    assert columnar.n_requests == spec.n_requests
+
+
+# ----------------------------------------------------------------------
+# eligibility: the fast path really runs, the fallback really falls back
+# ----------------------------------------------------------------------
+def _direct_sim(toy, policy, *, selection_policy=None, batching=True):
+    cluster = build_replay_cluster(
+        toy, {v: 2 for v in {*policy.versions}}, selection_policy=selection_policy
+    )
+    return ServingSimulator(
+        cluster,
+        configuration=EnsembleConfiguration("elig", policy),
+        batching=BatchingConfig(max_batch_size=4, max_wait_s=0.01)
+        if batching
+        else None,
+        seed=3,
+        engine="columnar",
+    )
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [
+        SingleVersionPolicy("fast"),
+        SequentialPolicy("fast", "slow", 0.6),
+        ConcurrentPolicy("fast", "slow", 0.6),
+        EarlyTerminationPolicy("fast", "slow", 0.6),
+    ],
+    ids=["single", "seq", "conc", "et"],
+)
+@pytest.mark.parametrize(
+    "selection",
+    [None, JoinShortestQueuePolicy, LeastBusyPolicy, RoundRobinPolicy],
+    ids=["default", "jsq", "lb", "rr"],
+)
+def test_supported_shapes_run_columnar(policy, selection, toy):
+    """Every policy x selection shape the fast path claims is exercised
+    end to end without falling back — the differential suite is really
+    testing columnar code, not a silent legacy fallback."""
+    sim = _direct_sim(
+        toy, policy, selection_policy=selection() if selection else None
+    )
+    report = sim.run(PoissonArrivals(4.0), 60, payload_ids=toy.request_ids)
+    assert sim.engine_used == "columnar"
+    assert sim.fallback_reason is None
+    assert report.n_requests == 60
+
+
+def test_unsupported_shapes_fall_back_with_reason(toy):
+    """Structurally ineligible runs execute on the legacy oracle and say
+    why; behaviour still matches a pure legacy run exactly."""
+    spec = canonical_scenarios()["diurnal"]  # autoscaled -> ineligible
+    cluster = build_replay_cluster(toy, dict(spec.pools))
+    from repro.service.simulation import Autoscaler
+
+    sim = ServingSimulator(
+        cluster,
+        configuration=spec.configuration,
+        autoscaler=Autoscaler(spec.autoscaler_config),
+        seed=spec.seed,
+        engine="columnar",
+    )
+    report = sim.run(spec.arrivals, spec.n_requests, payload_ids=toy.request_ids)
+    assert sim.engine_used == "legacy"
+    assert sim.fallback_reason is not None
+    legacy = run_scenario(spec, toy, engine="legacy")
+    assert_reports_identical(legacy, report)
+
+
+def test_fuzzed_space_exercises_the_columnar_path(toy):
+    """A substantial fraction of the fuzzed specs must be genuinely
+    columnar-eligible, or the differential sweep proves nothing."""
+    columnar_runs = 0
+    for seed in range(N_SPECS):
+        spec, selection = _random_spec(seed)
+        cluster = build_replay_cluster(
+            toy, dict(spec.pools),
+            selection_policy=selection() if selection else None,
+        )
+        from repro.service.simulation import Autoscaler
+
+        sim = ServingSimulator(
+            cluster,
+            configuration=spec.configuration,
+            batching=spec.batching,
+            autoscaler=Autoscaler(spec.autoscaler_config)
+            if spec.autoscaler_config is not None
+            else None,
+            retry=spec.retry,
+            faults=spec.faults,
+            seed=spec.seed,
+            engine="columnar",
+        )
+        sim.run(spec.arrivals, spec.n_requests, payload_ids=toy.request_ids)
+        if sim.engine_used == "columnar":
+            columnar_runs += 1
+    assert columnar_runs >= N_SPECS // 4, (
+        f"only {columnar_runs}/{N_SPECS} fuzzed specs ran columnar — "
+        "the differential sweep is mostly testing the fallback"
+    )
+
+
+# ----------------------------------------------------------------------
+# engine-boundary edge cases
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["legacy", "columnar"])
+def test_zero_request_drain_raises_identically(engine, toy):
+    sim = ServingSimulator(
+        build_replay_cluster(toy, {"fast": 1}),
+        configuration=EnsembleConfiguration("z", SingleVersionPolicy("fast")),
+        engine=engine,
+    )
+    with pytest.raises(ValueError, match="at least one record"):
+        sim.drain()
+
+
+def test_single_request_run_digest_identical(toy):
+    spec = ScenarioSpec(
+        name="one",
+        arrivals=PoissonArrivals(2.0),
+        n_requests=1,
+        pools={"fast": 1, "slow": 1},
+        configuration=EnsembleConfiguration(
+            "one", SequentialPolicy("fast", "slow", 0.6)
+        ),
+        batching=BatchingConfig(max_batch_size=4, max_wait_s=0.01),
+        seed=5,
+    )
+    legacy, columnar = run_both(spec, toy)
+    assert_reports_identical(legacy, columnar)
+    assert legacy.n_requests == 1
+
+
+def test_negative_arrival_time_raises_identically(toy):
+    """The bulk columnar submit mirrors legacy's scheduling guard, down
+    to the message and the partially-consumed counter state."""
+
+    class BadArrivals:
+        def times(self, n, rng):
+            return np.array([0.5, -0.25, 1.0])
+
+    errors = {}
+    for engine in ("legacy", "columnar"):
+        sim = ServingSimulator(
+            build_replay_cluster(toy, {"fast": 1}),
+            configuration=EnsembleConfiguration(
+                "bad", SingleVersionPolicy("fast")
+            ),
+            engine=engine,
+        )
+        with pytest.raises(ValueError) as excinfo:
+            sim.run(BadArrivals(), 3, payload_ids=toy.request_ids)
+        errors[engine] = (str(excinfo.value), sim._counter, sim._remaining)
+    assert errors["legacy"] == errors["columnar"]
