@@ -39,6 +39,10 @@ METRICS = (
     ("control_plane", "goodput_rps", +1),
     ("control_plane", "p95_latency_s", -1),
     ("control_plane", "node_seconds", -1),
+    ("resilience", "goodput_retention", +1),
+    ("resilience", "p95_inflation", -1),
+    ("resilience", "time_to_recover_s", -1),
+    ("resilience", "retry_amplification", -1),
 )
 
 

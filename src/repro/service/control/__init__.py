@@ -10,7 +10,9 @@ watches the serving and steers it.  Four cooperating parts:
   both the discrete-event engine and the gateway's synchronous path.
 * :mod:`repro.service.control.slo` — declarative :class:`SLOSpec`
   targets evaluated continuously into debounced OK / WARN / BREACH
-  states with hysteresis.
+  states with hysteresis, plus :class:`GrayFailureDetector`, which
+  flags slow-but-alive nodes by comparing per-node service-time EWMAs
+  against the pool median.
 * :mod:`repro.service.control.admission` — the admission controller
   consulted once per arriving request; under BREACH it sheds
   (probabilistically or by priority) or force-degrades traffic to the
@@ -45,7 +47,14 @@ from repro.service.control.plane import (
     ControlSpec,
     default_control_spec,
 )
-from repro.service.control.slo import SLOMonitor, SLOSpec, SLOState, SLOStatus
+from repro.service.control.slo import (
+    GrayDetectionSpec,
+    GrayFailureDetector,
+    SLOMonitor,
+    SLOSpec,
+    SLOState,
+    SLOStatus,
+)
 from repro.service.control.telemetry import (
     MIN_PERCENTILE_SAMPLES,
     PercentileEstimate,
@@ -65,6 +74,8 @@ __all__ = [
     "ControlLogEntry",
     "ControlPlane",
     "ControlSpec",
+    "GrayDetectionSpec",
+    "GrayFailureDetector",
     "MIN_PERCENTILE_SAMPLES",
     "PercentileEstimate",
     "PolicyAdaptor",

@@ -36,6 +36,8 @@ from repro.service.control.admission import (
 )
 from repro.service.control.adaptor import AdaptorConfig, PolicyAdaptor
 from repro.service.control.slo import (
+    GrayDetectionSpec,
+    GrayFailureDetector,
     SLOMonitor,
     SLOSpec,
     SLOState,
@@ -65,7 +67,8 @@ class ControlLogEntry:
 
     Attributes:
         time_s: Virtual time of the action.
-        kind: ``"slo"`` (state transition), ``"swap"``,
+        kind: ``"slo"`` (state transition), ``"gray-detected"`` /
+            ``"gray-cleared"`` (per-node divergence), ``"swap"``,
             ``"swap-declined"``, ``"anchor-restore"``, ``"rollback"``,
             or one of the ``"refit-*"`` non-swap outcomes (``nochange``
             / ``noimprove`` / ``rejected`` / ``skipped``).
@@ -92,6 +95,8 @@ class ControlSpec:
             deployed policy static.
         min_percentile_samples: Small-N guard threshold for windowed
             percentiles.
+        gray_detection: Per-node gray-failure detection (service-time
+            divergence against pool peers); ``None`` disables it.
     """
 
     window_s: float = 10.0
@@ -100,6 +105,7 @@ class ControlSpec:
     admission: Optional[AdmissionSpec] = None
     adaptor: Optional[AdaptorConfig] = None
     min_percentile_samples: int = MIN_PERCENTILE_SAMPLES
+    gray_detection: Optional[GrayDetectionSpec] = None
 
     def __post_init__(self) -> None:
         if self.window_s <= 0.0:
@@ -126,6 +132,8 @@ class ControlPlane:
     * :meth:`observe` per finalized record (an event hook:
       the same ``callable(record, now)`` shape as
       :meth:`~repro.service.control.telemetry.TelemetryHub.publish`),
+    * :meth:`observe_node` per node completion (optional — the engine
+      duck-types for it; a no-op unless gray detection is configured),
     * :meth:`on_tick` per control tick, returning an optional
       configuration to hot-swap onto.
     """
@@ -144,6 +152,11 @@ class ControlPlane:
             min_percentile_samples=spec.min_percentile_samples,
         )
         self.monitors = [SLOMonitor(s) for s in spec.slos]
+        self.gray_detector = (
+            GrayFailureDetector(spec.gray_detection)
+            if spec.gray_detection is not None
+            else None
+        )
         self.controller = controller
         self.adaptor = adaptor
         self.state = SLOState.OK
@@ -242,6 +255,21 @@ class ControlPlane:
         """Fold one finalized request record into the telemetry window."""
         self.hub.publish(record, now)
 
+    def observe_node(
+        self,
+        node_id: str,
+        version: str,
+        service_time_s: float,
+        now: Optional[float] = None,
+    ) -> None:
+        """Fold one node completion into gray-failure detection.
+
+        A no-op when :attr:`ControlSpec.gray_detection` is unset, so
+        feeding node telemetry is always safe.
+        """
+        if self.gray_detector is not None:
+            self.gray_detector.observe(node_id, version, service_time_s)
+
     def on_tick(self, now: float) -> Optional[EnsembleConfiguration]:
         """Evaluate SLOs and adaptation; maybe return a hot-swap target."""
         snapshot = self.hub.snapshot(now)
@@ -262,7 +290,12 @@ class ControlPlane:
                         + (" [small-N guard]" if status.guarded else ""),
                     )
                 )
-        self.state = worst_state(m.state for m in self.monitors)
+        states = [m.state for m in self.monitors]
+        if self.gray_detector is not None:
+            for kind, detail in self.gray_detector.evaluate():
+                self.log.append(ControlLogEntry(now, kind, detail))
+            states.append(self.gray_detector.state)
+        self.state = worst_state(states)
         if self.adaptor is None:
             return None
         swap = self.adaptor.on_tick(snapshot, self.state, now)

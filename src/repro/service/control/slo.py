@@ -28,11 +28,18 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.service.control.telemetry import WindowSnapshot
 
-__all__ = ["SLOMonitor", "SLOSpec", "SLOState", "SLOStatus"]
+__all__ = [
+    "GrayDetectionSpec",
+    "GrayFailureDetector",
+    "SLOMonitor",
+    "SLOSpec",
+    "SLOState",
+    "SLOStatus",
+]
 
 
 class SLOState(enum.Enum):
@@ -241,3 +248,180 @@ class SLOMonitor:
             guarded=guarded,
             transitioned=self.state is not previous,
         )
+
+
+@dataclass(frozen=True)
+class GrayDetectionSpec:
+    """Configuration for per-node gray-failure detection.
+
+    A gray failure is a node that is slow but alive: every health check
+    passes, yet its service times have silently diverged from its pool
+    peers.  Whole-stream SLOs dilute the signal — one slow node out of
+    four moves the pool p95 late or not at all — so detection compares
+    *per-node* service-time EWMAs against the pool median instead.
+
+    Attributes:
+        ratio_threshold: A node is raw-gray when its service-time EWMA
+            is at least this multiple of its pool's median EWMA.  Must
+            exceed 1 (a node cannot be gray relative to itself).
+        min_samples: Completions a node must have served before its
+            EWMA participates — one slow batch is noise, not divergence.
+        ewma_alpha: Exponential smoothing factor in ``(0, 1]``; higher
+            weights recent completions more.
+        detect_after: Consecutive gray evaluations (control ticks)
+            before a node is flagged.
+        clear_after: Consecutive clean evaluations before a flagged
+            node is released.
+        state_on_detect: The :class:`SLOState` the detector contributes
+            to the plane aggregate while any node is flagged — WARN
+            surfaces the divergence, BREACH additionally arms admission
+            control.  OK is rejected (detection would be inert).
+    """
+
+    ratio_threshold: float = 2.0
+    min_samples: int = 8
+    ewma_alpha: float = 0.3
+    detect_after: int = 2
+    clear_after: int = 2
+    state_on_detect: SLOState = SLOState.WARN
+
+    def __post_init__(self) -> None:
+        if not self.ratio_threshold > 1.0:
+            raise ValueError("ratio_threshold must exceed 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.detect_after < 1 or self.clear_after < 1:
+            raise ValueError("detect_after / clear_after must be at least 1")
+        if self.state_on_detect is SLOState.OK:
+            raise ValueError("state_on_detect must be WARN or BREACH")
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class GrayFailureDetector:
+    """Flags pool nodes whose service times silently diverge from peers.
+
+    Fed one observation per node completion via :meth:`observe` and
+    evaluated once per control tick via :meth:`evaluate`, which applies
+    the same hysteresis discipline as :class:`SLOMonitor`: a node must
+    look gray for ``detect_after`` consecutive ticks to be flagged and
+    clean for ``clear_after`` to be released.  Evaluation is a pure
+    function of the observation sequence — no randomness, no wall
+    clock — so closed-loop runs stay bit-deterministic.
+
+    A pool is only judged when at least two of its nodes have served
+    ``min_samples`` completions: with a single reporting node there is
+    no peer baseline, and any existing flags for that pool are released.
+    """
+
+    def __init__(self, spec: GrayDetectionSpec) -> None:
+        self.spec = spec
+        self._ewma: Dict[Tuple[str, str], float] = {}
+        self._count: Dict[Tuple[str, str], int] = {}
+        self._gray_streak: Dict[Tuple[str, str], int] = {}
+        self._clean_streak: Dict[Tuple[str, str], int] = {}
+        self._flagged: Set[Tuple[str, str]] = set()
+
+    def observe(self, node_id: str, version: str, service_time_s: float) -> None:
+        """Fold one completion's service time into the node's EWMA."""
+        key = (version, node_id)
+        previous = self._ewma.get(key)
+        if previous is None:
+            self._ewma[key] = service_time_s
+        else:
+            alpha = self.spec.ewma_alpha
+            self._ewma[key] = alpha * service_time_s + (1.0 - alpha) * previous
+        self._count[key] = self._count.get(key, 0) + 1
+
+    @property
+    def n_flagged(self) -> int:
+        """Nodes currently flagged gray."""
+        return len(self._flagged)
+
+    @property
+    def state(self) -> SLOState:
+        """The detector's contribution to the plane aggregate."""
+        return self.spec.state_on_detect if self._flagged else SLOState.OK
+
+    def evaluate(self) -> List[Tuple[str, str]]:
+        """Judge every comparable pool; return ``(kind, detail)`` transitions.
+
+        ``kind`` is ``"gray-detected"`` or ``"gray-cleared"``.  Details
+        name the version and divergence ratio but deliberately not the
+        node: node identifiers embed a process-global counter, and the
+        control log participates in the deterministic report digest.
+        """
+        spec = self.spec
+        transitions: List[Tuple[str, str]] = []
+        pools: Dict[str, List[Tuple[str, float]]] = {}
+        for (version, node_id), count in self._count.items():
+            if count >= spec.min_samples:
+                pools.setdefault(version, []).append(
+                    (node_id, self._ewma[(version, node_id)])
+                )
+
+        judged: Set[Tuple[str, str]] = set()
+        for version in sorted(pools):
+            nodes = pools[version]
+            if len(nodes) < 2:
+                continue
+            median = _median([ewma for _, ewma in nodes])
+            if median <= 0.0:
+                continue
+            for node_id, ewma in sorted(nodes):
+                key = (version, node_id)
+                judged.add(key)
+                ratio = ewma / median
+                if ratio >= spec.ratio_threshold:
+                    self._gray_streak[key] = self._gray_streak.get(key, 0) + 1
+                    self._clean_streak[key] = 0
+                    if (
+                        key not in self._flagged
+                        and self._gray_streak[key] >= spec.detect_after
+                    ):
+                        self._flagged.add(key)
+                        transitions.append(
+                            (
+                                "gray-detected",
+                                f"{version}: node service-time ewma "
+                                f"{ratio:.2f}x pool median",
+                            )
+                        )
+                else:
+                    self._clean_streak[key] = self._clean_streak.get(key, 0) + 1
+                    self._gray_streak[key] = 0
+                    if (
+                        key in self._flagged
+                        and self._clean_streak[key] >= spec.clear_after
+                    ):
+                        self._flagged.discard(key)
+                        transitions.append(
+                            (
+                                "gray-cleared",
+                                f"{version}: node service-time ewma back to "
+                                f"{ratio:.2f}x pool median",
+                            )
+                        )
+
+        # A flagged node whose pool lost its peer baseline (everyone
+        # else died or was drained) can no longer be judged; release it
+        # rather than latch the plane state on stale evidence.
+        for key in sorted(self._flagged - judged):
+            self._flagged.discard(key)
+            self._gray_streak[key] = 0
+            self._clean_streak[key] = 0
+            transitions.append(
+                (
+                    "gray-cleared",
+                    f"{key[0]}: pool no longer comparable; flag released",
+                )
+            )
+        return transitions

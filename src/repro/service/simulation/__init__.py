@@ -14,11 +14,13 @@ of nodes, and what happens when that pool degrades:
 * :mod:`repro.service.simulation.autoscaler` -- queue-depth and
   utilization triggered pool autoscaling (plus dead-pool replacement).
 * :mod:`repro.service.simulation.faults` -- declarative fault injection:
-  node crash/recovery, stragglers, transient-failure windows, and the
-  retry policy that re-drives failed attempts.
+  node crash/recovery, stragglers, transient-failure windows, the chaos
+  vocabulary (gray failures, cascades, retry storms, cold-start waves,
+  thundering herds), and the retry policy — with budgets — that
+  re-drives failed attempts.
 * :mod:`repro.service.simulation.scenarios` -- :class:`ScenarioSpec`, the
   declarative composition of arrivals + tier mix + autoscaling + faults,
-  with six canonical degraded-mode scenarios.
+  with six canonical degraded-mode scenarios and five chaos scenarios.
 * :mod:`repro.service.simulation.invariants` -- opt-in conservation-law
   checking (request/attempt conservation, billing reconciliation).
 * :mod:`repro.service.simulation.replay` -- measurement-backed service
@@ -36,6 +38,7 @@ from repro.service.simulation.arrivals import (
     DiurnalArrivals,
     PoissonArrivals,
     SpikeArrivals,
+    ThunderingHerdArrivals,
     TraceArrivals,
 )
 from repro.service.simulation.autoscaler import (
@@ -47,11 +50,17 @@ from repro.service.simulation.batching import BatchingConfig
 from repro.service.simulation.engine import ServingSimulator
 from repro.service.simulation.events import Event, EventLoop
 from repro.service.simulation.faults import (
+    CascadePolicy,
+    ColdStartWave,
     FaultLogEntry,
+    GrayFailure,
     NodeCrash,
     NodeSlowdown,
     RetryPolicy,
+    RetryStorm,
+    ThunderingHerd,
     TransientFaults,
+    affected_versions,
 )
 from repro.service.simulation.invariants import (
     InvariantChecker,
@@ -72,6 +81,7 @@ from repro.service.simulation.report import (
 from repro.service.simulation.scenarios import (
     ScenarioSpec,
     canonical_scenarios,
+    chaos_scenarios,
     osfa_configuration,
     run_scenario,
     scenario_measurements,
@@ -83,11 +93,14 @@ __all__ = [
     "AutoscalerConfig",
     "BatchingConfig",
     "BurstyArrivals",
+    "CascadePolicy",
+    "ColdStartWave",
     "Divergence",
     "DiurnalArrivals",
     "Event",
     "EventLoop",
     "FaultLogEntry",
+    "GrayFailure",
     "InvariantChecker",
     "InvariantViolation",
     "LoadTestReport",
@@ -98,14 +111,19 @@ __all__ = [
     "RecordColumns",
     "RequestRecord",
     "RetryPolicy",
+    "RetryStorm",
     "ScalingEvent",
     "ScenarioSpec",
     "ServingSimulator",
     "SpikeArrivals",
+    "ThunderingHerd",
+    "ThunderingHerdArrivals",
     "TraceArrivals",
     "TransientFaults",
+    "affected_versions",
     "build_replay_cluster",
     "canonical_scenarios",
+    "chaos_scenarios",
     "first_divergence",
     "osfa_configuration",
     "replay_pools",

@@ -141,7 +141,10 @@ def columnar_ineligibility(sim) -> Optional[str]:
     if sim._router is not None:
         return "router-driven routing"
     if sim._faults:
-        return "fault schedule present"
+        # Name the fault classes so a chaos scenario's fallback is
+        # attributable: "fault schedule present (GrayFailure, RetryStorm)".
+        kinds = sorted({type(fault).__name__ for fault in sim._faults})
+        return f"fault schedule present ({', '.join(kinds)})"
     if sim._autoscaler is not None:
         return "autoscaler attached"
     if sim._control is not None:

@@ -70,6 +70,7 @@ reconcile it at drain time.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -84,7 +85,10 @@ from repro.core.router import TierRouter
 from repro.service.cluster import ClusterDeployment
 from repro.service.node import NodeCompletion, QueuedRequest, ServiceNode
 from repro.service.request import Objective, ServiceRequest
-from repro.service.simulation.arrivals import ArrivalProcess
+from repro.service.simulation.arrivals import (
+    ArrivalProcess,
+    ThunderingHerdArrivals,
+)
 from repro.service.simulation.autoscaler import Autoscaler
 from repro.service.simulation.batching import BatchingConfig
 from repro.service.simulation.columnar import (
@@ -94,12 +98,18 @@ from repro.service.simulation.columnar import (
 )
 from repro.service.simulation.events import Event, EventLoop
 from repro.service.simulation.faults import (
+    CascadePolicy,
+    ColdStartWave,
     FaultEvent,
     FaultLogEntry,
+    GrayFailure,
     NodeCrash,
     NodeSlowdown,
     RetryPolicy,
+    RetryStorm,
+    ThunderingHerd,
     TransientFaults,
+    affected_versions,
 )
 from repro.service.simulation.invariants import InvariantChecker
 from repro.service.simulation.report import LoadTestReport, RequestRecord
@@ -155,6 +165,8 @@ class _InFlight:
         "leg_open",
         "retry_pending",
         "retries",
+        "retries_planned",
+        "retry_denied",
         "degraded",
     )
 
@@ -201,6 +213,13 @@ class _InFlight:
         self.retry_pending: Dict[str, bool] = {}
         #: Attempts re-driven after a failure (for the request record).
         self.retries = 0
+        #: Retries *scheduled* (a superset of fired ones: a backoff that
+        #: gets cancelled is planned but never fires) — what the
+        #: per-request ``retry_budget`` meters.
+        self.retries_planned = 0
+        #: True once a retry this request wanted was denied by a budget
+        #: (per-request, in-flight cap, or run-wide).
+        self.retry_denied = False
         #: True when admission control downgraded the request to the
         #: fast tier instead of the configuration routing planned.
         self.degraded = False
@@ -251,11 +270,19 @@ class ServingSimulator:
         batching: Node-level batching policy; default is unbatched.
         autoscaler: Optional pool autoscaler, evaluated on its configured
             cadence while traffic is in flight.
-        faults: Timed fault schedule
-            (:class:`~repro.service.simulation.faults.NodeCrash` /
-            :class:`~repro.service.simulation.faults.NodeSlowdown` /
-            :class:`~repro.service.simulation.faults.TransientFaults`)
-            injected on the virtual clock; empty for a healthy run.
+        faults: Fault schedule injected on the virtual clock; empty for
+            a healthy run.  Timed events
+            (:class:`~repro.service.simulation.faults.NodeCrash`,
+            :class:`~repro.service.simulation.faults.NodeSlowdown`,
+            :class:`~repro.service.simulation.faults.GrayFailure`,
+            :class:`~repro.service.simulation.faults.TransientFaults`,
+            :class:`~repro.service.simulation.faults.RetryStorm`) fire at
+            their timestamps; run-long policies
+            (:class:`~repro.service.simulation.faults.CascadePolicy`,
+            :class:`~repro.service.simulation.faults.ColdStartWave`)
+            react to crashes and capacity joins; and
+            :class:`~repro.service.simulation.faults.ThunderingHerd`
+            transforms workloads generated via :meth:`run`.
         retry: How failed job attempts are re-driven; the default retries
             nothing (one attempt per leg).
         check_invariants: When true, feed an
@@ -378,12 +405,7 @@ class ServingSimulator:
         self._control_tick_scheduled = False
         known = set(cluster.load_balancer.versions)
         for fault in self._faults:
-            targets = (
-                fault.versions or ()
-                if isinstance(fault, TransientFaults)
-                else (fault.version,)
-            )
-            unknown = set(targets) - known
+            unknown = set(affected_versions(fault)) - known
             if unknown:
                 raise ValueError(
                     f"fault {fault!r} targets unknown version(s) "
@@ -393,11 +415,51 @@ class ServingSimulator:
             fault for fault in self._faults
             if isinstance(fault, TransientFaults)
         ]
+        self._retry_storms = [
+            fault for fault in self._faults if isinstance(fault, RetryStorm)
+        ]
+        self._cascades = [
+            fault for fault in self._faults if isinstance(fault, CascadePolicy)
+        ]
+        self._cold_waves = [
+            fault for fault in self._faults if isinstance(fault, ColdStartWave)
+        ]
+        self._herd_faults = [
+            fault for fault in self._faults
+            if isinstance(fault, ThunderingHerd)
+        ]
         # A dedicated generator keeps fault draws out of the arrival
-        # stream: a fault-free run consumes exactly the PR 1 draws.
+        # stream: a fault-free run consumes exactly the PR 1 draws, and a
+        # run without probabilistic faults creates no fault generator.
         self._fault_rng = (
             np.random.default_rng([seed, 0xFA117])
-            if self._transient_windows
+            if self._transient_windows or self._retry_storms or self._cascades
+            else None
+        )
+        # Storm bad-bucket flags are precomputed from per-storm derived
+        # generators, so completion interleaving can never change which
+        # buckets are bad (and the shared fault RNG's draw sequence stays
+        # a pure function of the completion order, as before).
+        self._storm_buckets = [
+            np.random.default_rng([seed, 0xB1A57, k]).uniform(
+                size=storm.n_buckets
+            )
+            < storm.bad_fraction
+            for k, storm in enumerate(self._retry_storms)
+        ]
+        #: Per-version virtual time until which a cascade window is open.
+        self._cascade_until: Dict[str, float] = {}
+        #: node_id -> confidence multiplier while gray or warming up.
+        self._deflate: Dict[str, float] = {}
+        self._retries_denied = 0
+        self._total_retries_planned = 0
+        self._inflight_retries = 0
+        # Per-node telemetry for gray-failure detection is duck-typed like
+        # the rest of the control protocol: planes without observe_node
+        # (and plain record hooks) simply never see node latencies.
+        self._observe_node = (
+            getattr(control, "observe_node", None)
+            if control is not None
             else None
         )
         self._schedule_faults()
@@ -457,6 +519,27 @@ class ServingSimulator:
                 request's own id.
         """
         times = arrivals.times(n_requests, self._rng)
+        if self._herd_faults:
+            # Thundering herds transform the generated workload *after*
+            # sampling: the base process consumes exactly its usual draws,
+            # then arrivals inside each hold window slide to the window's
+            # end (see ThunderingHerdArrivals).  Requests submitted via
+            # submit() bypass run() and are never held.
+            times = np.asarray(times, dtype=float)
+            for herd in self._herd_faults:
+                modulator = ThunderingHerdArrivals(
+                    arrivals,
+                    start_s=herd.start_s,
+                    end_s=herd.end_s,
+                    spread_s=herd.spread_s,
+                )
+                held = modulator.held_count(times)
+                times = modulator.apply(times)
+                self._loop.schedule_at(
+                    herd.end_s,
+                    lambda h=herd, c=held: self._on_herd_release(h, c),
+                    kind="fault-herd",
+                )
         if payload_ids is not None:
             ids = list(payload_ids)
             if not ids:
@@ -817,6 +900,31 @@ class ServingSimulator:
         self, node: ServiceNode, completions: List[NodeCompletion]
     ) -> None:
         self._running.pop(node.node_id, None)
+        factor = self._deflate.get(node.node_id)
+        if factor is not None and factor < 1.0:
+            # Gray / warming nodes silently lose answer quality: every
+            # confidence they report is deflated, which shifts the tier
+            # escalation gate — the "failure" shows up as extra
+            # escalations and cost, never as an error.
+            completions = [
+                replace(
+                    completion,
+                    result=replace(
+                        completion.result,
+                        confidence=completion.result.confidence * factor,
+                    ),
+                )
+                for completion in completions
+            ]
+        if self._observe_node is not None:
+            now = self._loop.now
+            for completion in completions:
+                self._observe_node(
+                    node.node_id,
+                    completion.result.version,
+                    completion.service_time_s,
+                    now,
+                )
         for completion in completions:
             self._on_job_done(completion)
         self._maybe_start(node)
@@ -833,9 +941,10 @@ class ServingSimulator:
                     request_id, version, completion.finished_at
                 )
             return
-        if self._completion_eaten_by_fault(version, completion.finished_at):
+        eaten = self._fault_eating_completion(version, completion.finished_at)
+        if eaten is not None:
             self._attempt_failed(
-                state, version, now=self._loop.now, reason="transient"
+                state, version, now=self._loop.now, reason=eaten
             )
             return
         state.leg_open[version] = False
@@ -861,6 +970,7 @@ class ServingSimulator:
     # fault schedule
     # ------------------------------------------------------------------
     def _schedule_faults(self) -> None:
+        storm_index = 0
         for fault in self._faults:
             if isinstance(fault, NodeCrash):
                 self._loop.schedule_at(
@@ -874,12 +984,29 @@ class ServingSimulator:
                     lambda f=fault: self._on_slowdown(f),
                     kind="fault-slowdown",
                 )
-            else:
+            elif isinstance(fault, GrayFailure):
+                self._loop.schedule_at(
+                    fault.at_s,
+                    lambda f=fault: self._on_gray(f),
+                    kind="fault-gray",
+                )
+            elif isinstance(fault, TransientFaults):
                 self._loop.schedule_at(
                     fault.start_s,
                     lambda f=fault: self._on_transient_window(f),
                     kind="fault-window",
                 )
+            elif isinstance(fault, RetryStorm):
+                self._loop.schedule_at(
+                    fault.start_s,
+                    lambda f=fault, k=storm_index: self._on_storm_window(f, k),
+                    kind="fault-window",
+                )
+                storm_index += 1
+            # CascadePolicy and ColdStartWave are run-long policies (they
+            # react to crashes / capacity joins, not to a timestamp) and
+            # ThunderingHerd acts on the arrival side in run(); none of
+            # them schedules an onset event.
 
     def _on_transient_window(self, fault: TransientFaults) -> None:
         self._fault_log.append(
@@ -892,14 +1019,79 @@ class ServingSimulator:
             )
         )
 
-    def _completion_eaten_by_fault(self, version: str, t: float) -> bool:
-        """Whether an active transient-fault window eats this completion."""
+    def _on_storm_window(self, fault: RetryStorm, index: int) -> None:
+        n_bad = int(np.count_nonzero(self._storm_buckets[index]))
+        self._fault_log.append(
+            FaultLogEntry(
+                self._loop.now,
+                "storm-window",
+                ",".join(fault.versions) if fault.versions else "*",
+                None,
+                f"p={fault.failure_probability:g} in {n_bad}/"
+                f"{fault.n_buckets} bad bucket(s) until t={fault.end_s:g}",
+            )
+        )
+
+    def _on_herd_release(self, fault: ThunderingHerd, held: int) -> None:
+        self._fault_log.append(
+            FaultLogEntry(
+                self._loop.now,
+                "herd",
+                "*",
+                None,
+                f"released {held} held arrival(s) over {fault.spread_s:g}s",
+            )
+        )
+
+    def _cascade_policy_for(self, version: str) -> Optional[CascadePolicy]:
+        for policy in self._cascades:
+            if policy.version is None or policy.version == version:
+                return policy
+        return None
+
+    def _cold_wave_for(self, version: str) -> Optional[ColdStartWave]:
+        for wave in self._cold_waves:
+            if wave.covers(version):
+                return wave
+        return None
+
+    def _pool_load(self, version: str) -> float:
+        """Mean queued jobs per live node (parked jobs count as queued)."""
+        pool = self.cluster.load_balancer.nodes_of(version)
+        depth = sum(node.queue_depth for node in pool) + len(
+            self._parked.get(version, ())
+        )
+        return depth / max(1, len(pool))
+
+    def _fault_eating_completion(
+        self, version: str, t: float
+    ) -> Optional[str]:
+        """Failure outcome an active fault assigns this completion, if any.
+
+        Mechanisms are consulted in a fixed order — transient windows,
+        retry storms, cascade windows — and within each class the first
+        matching fault draws and decides, so the shared fault RNG's draw
+        sequence is a pure function of the completion order.
+        """
         for window in self._transient_windows:
             if window.affects(version, t):
-                return bool(
-                    self._fault_rng.uniform() < window.failure_probability
-                )
-        return False
+                if self._fault_rng.uniform() < window.failure_probability:
+                    return "transient"
+                break
+        for index, storm in enumerate(self._retry_storms):
+            if storm.affects(version, t):
+                if self._storm_buckets[index][storm.bucket_of(t)] and (
+                    self._fault_rng.uniform() < storm.failure_probability
+                ):
+                    return "transient"
+                break
+        until = self._cascade_until.get(version)
+        if until is not None and t < until:
+            policy = self._cascade_policy_for(version)
+            probability = policy.probability(self._pool_load(version))
+            if self._fault_rng.uniform() < probability:
+                return "cascade"
+        return None
 
     def _on_node_crash(self, fault: NodeCrash) -> None:
         now = self._loop.now
@@ -950,6 +1142,28 @@ class ServingSimulator:
                 f"attempt(s) aborted, {len(queued)} queued migrated",
             )
         )
+        policy = self._cascade_policy_for(fault.version)
+        if policy is not None:
+            # The death stresses the survivors: open (or extend) the
+            # pool's cascade window.  Completions inside it fail with a
+            # load-conditional probability (_fault_eating_completion).
+            until = max(
+                self._cascade_until.get(fault.version, 0.0),
+                now + policy.window_s,
+            )
+            self._cascade_until[fault.version] = until
+            self._fault_log.append(
+                FaultLogEntry(
+                    now,
+                    "cascade",
+                    fault.version,
+                    None,
+                    f"crash opened cascade window until t={until:g} "
+                    f"(base p={policy.base_probability:g}, "
+                    f"+{policy.load_factor:g}/queued-per-node, "
+                    f"cap {policy.max_probability:g})",
+                )
+            )
         # Queued work never started: it migrates, same attempt.
         for item in queued:
             self._migrate_item(fault.version, item)
@@ -979,6 +1193,9 @@ class ServingSimulator:
                 "replacement node joined the pool",
             )
         )
+        # Cold-start degradation applies before parked work lands on the
+        # replacement, so its first batches run at warmup speed.
+        self._maybe_cold_start(fault.version, added)
         self._on_capacity_added(fault.version)
 
     def _on_slowdown(self, fault: NodeSlowdown) -> None:
@@ -1025,6 +1242,101 @@ class ServingSimulator:
                 fault.version,
                 node.node_id,
                 "speed restored to x1",
+            )
+        )
+
+    def _on_gray(self, fault: GrayFailure) -> None:
+        now = self._loop.now
+        pool = self.cluster.load_balancer.nodes_of(fault.version)
+        if fault.node_index >= len(pool):
+            self._fault_log.append(
+                FaultLogEntry(
+                    now,
+                    "skipped",
+                    fault.version,
+                    None,
+                    f"gray index {fault.node_index} out of range "
+                    f"(pool size {len(pool)})",
+                )
+            )
+            return
+        node = pool[fault.node_index]
+        node.set_speed_scale(fault.speed_factor)
+        self._deflate[node.node_id] = fault.confidence_factor
+        self._fault_log.append(
+            FaultLogEntry(
+                now,
+                "gray",
+                fault.version,
+                node.node_id,
+                f"pool index {fault.node_index}: speed "
+                f"x{fault.speed_factor:g}, confidence "
+                f"x{fault.confidence_factor:g}, still passing health checks",
+            )
+        )
+        if fault.until_s is not None:
+            self._loop.schedule_at(
+                fault.until_s,
+                lambda f=fault, n=node: self._on_gray_restore(f, n),
+                kind="fault-restore",
+            )
+
+    def _on_gray_restore(self, fault: GrayFailure, node: ServiceNode) -> None:
+        self._deflate.pop(node.node_id, None)
+        if not node.alive:
+            return  # the gray node crashed before recovering
+        node.set_speed_scale(1.0)
+        self._fault_log.append(
+            FaultLogEntry(
+                self._loop.now,
+                "gray-restore",
+                fault.version,
+                node.node_id,
+                "speed and confidence restored to x1",
+            )
+        )
+
+    def _maybe_cold_start(
+        self, version: str, nodes: Sequence[ServiceNode]
+    ) -> None:
+        """Degrade nodes that just joined a pool covered by a cold wave."""
+        wave = self._cold_wave_for(version)
+        if wave is None or not nodes:
+            return
+        now = self._loop.now
+        for node in nodes:
+            node.set_speed_scale(wave.speed_factor)
+            if wave.confidence_factor < 1.0:
+                self._deflate[node.node_id] = wave.confidence_factor
+            self._fault_log.append(
+                FaultLogEntry(
+                    now,
+                    "cold-start",
+                    version,
+                    node.node_id,
+                    f"warming for {wave.warmup_s:g}s: speed "
+                    f"x{wave.speed_factor:g}, confidence "
+                    f"x{wave.confidence_factor:g}",
+                )
+            )
+            self._loop.schedule_at(
+                now + wave.warmup_s,
+                lambda v=version, n=node: self._on_warmed(v, n),
+                kind="fault-warmup",
+            )
+
+    def _on_warmed(self, version: str, node: ServiceNode) -> None:
+        self._deflate.pop(node.node_id, None)
+        if not node.alive:
+            return  # the cold node died before finishing warmup
+        node.set_speed_scale(1.0)
+        self._fault_log.append(
+            FaultLogEntry(
+                self._loop.now,
+                "warmed",
+                version,
+                node.node_id,
+                "warmup complete: speed and confidence restored to x1",
             )
         )
 
@@ -1091,14 +1403,27 @@ class ServingSimulator:
                 request_id, version, attempt, now, reason
             )
         if attempt < self._retry.max_attempts:
-            state.retry_pending[version] = True
-            delay = self._retry.delay_before_retry(attempt)
-            self._loop.schedule(
-                delay,
-                lambda r=request_id, v=version: self._on_retry(r, v),
-                kind="retry",
-            )
-            return
+            if self._retry_budget_allows(state):
+                state.retry_pending[version] = True
+                state.retries_planned += 1
+                self._total_retries_planned += 1
+                self._inflight_retries += 1
+                delay = self._retry.delay_before_retry(attempt)
+                self._loop.schedule(
+                    delay,
+                    lambda r=request_id, v=version: self._on_retry(r, v),
+                    kind="retry",
+                )
+                return
+            # A budget denied the retry the policy would have scheduled:
+            # record the denial and proceed exactly as if the leg's
+            # attempts were exhausted (the degraded fallbacks below still
+            # apply — a denied accurate retry is harmless when a confident
+            # fast answer is in hand).
+            state.retry_denied = True
+            self._retries_denied += 1
+            if self._check is not None:
+                self._check.on_retry_denied(request_id, version, now)
         # Attempts exhausted.  A confident fast answer makes the loss of
         # the accurate leg harmless (conc/et bill the fast result anyway),
         # and symmetrically a lost fast leg is survivable while a
@@ -1147,7 +1472,31 @@ class ServingSimulator:
             return
         self._finalize_failed(state, end=now, exclude_version=version)
 
+    def _retry_budget_allows(self, state: _InFlight) -> bool:
+        """Whether the retry budgets permit scheduling one more retry."""
+        policy = self._retry
+        if (
+            policy.retry_budget is not None
+            and state.retries_planned >= policy.retry_budget
+        ):
+            return False
+        if (
+            policy.max_total_retries is not None
+            and self._total_retries_planned >= policy.max_total_retries
+        ):
+            return False
+        if (
+            policy.max_inflight_retries is not None
+            and self._inflight_retries >= policy.max_inflight_retries
+        ):
+            return False
+        return True
+
     def _on_retry(self, request_id: str, version: str) -> None:
+        # The backoff is over: whatever happens next, this retry no longer
+        # occupies an in-flight slot (cancelled retries release theirs
+        # here too — their schedule incremented the counter exactly once).
+        self._inflight_retries -= 1
         state = self._inflight.get(request_id)
         if state is None:
             return  # the request resolved while the backoff ran
@@ -1190,6 +1539,7 @@ class ServingSimulator:
             failed=True,
             retries=state.retries,
             degraded=state.degraded,
+            retry_denied=state.retry_denied,
         )
         self._records.append(record)
         if self._check is not None:
@@ -1471,6 +1821,7 @@ class ServingSimulator:
                 answer.result.confidence if answer is not None else None
             ),
             degraded=state.degraded,
+            retry_denied=state.retry_denied,
         )
         self._records.append(record)
         if self._check is not None:
@@ -1549,7 +1900,7 @@ class ServingSimulator:
                 now=now,
             )
             if delta > 0:
-                self.cluster.add_nodes(version, delta)
+                added = self.cluster.add_nodes(version, delta)
                 scaler.record(
                     version,
                     old_size=n_nodes,
@@ -1559,6 +1910,7 @@ class ServingSimulator:
                         delta, queue_depth=queue_depth, n_nodes=n_nodes
                     ),
                 )
+                self._maybe_cold_start(version, added)
                 self._on_capacity_added(version)
             elif delta < 0:
                 removed = self.cluster.remove_node(version, now=now)

@@ -18,6 +18,30 @@ engine can inject on its virtual clock:
   fault RNG so fault-free runs consume no extra randomness), triggering
   retries or terminal request failure.
 
+The chaos vocabulary extends that with the failure shapes a serving stack
+must degrade through *gracefully* rather than merely survive:
+
+* :class:`GrayFailure` — a slow-but-alive node: it keeps passing health
+  checks (it is never evicted, never stops serving) while its latency
+  inflates and its answers silently lose confidence.  The nastiest
+  production failure mode, because nothing crashes.
+* :class:`CascadePolicy` — crash propagation: a node death in an affected
+  pool opens a cascade window during which peer completions fail with a
+  load-conditional probability (the more backed up the survivors, the
+  likelier the overload spreads).
+* :class:`RetryStorm` — a *correlated* transient window: precomputed
+  bad/good time buckets concentrate failures into bursts, so aggressive
+  client retries pile onto already-failing capacity.  Pair it with the
+  :class:`RetryPolicy` budgets below to both reproduce and contain the
+  storm.
+* :class:`ColdStartWave` — every node that joins a pool after the run
+  starts (autoscaler scale-up, crash replacement) serves at degraded
+  speed and confidence for a warmup window before reaching steady state.
+* :class:`ThunderingHerd` — an outage window on the *arrival* side:
+  requests that would have arrived inside it are held and released as one
+  synchronized surge when the window ends (see
+  :class:`~repro.service.simulation.arrivals.ThunderingHerdArrivals`).
+
 All fault types are frozen dataclasses so a
 :class:`~repro.service.simulation.scenarios.ScenarioSpec` composed of them
 is hashable, comparable and serialisable.  Applying the same schedule to
@@ -27,17 +51,49 @@ the same seeded simulation always reproduces the same
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 __all__ = [
+    "CascadePolicy",
+    "ColdStartWave",
     "FaultEvent",
     "FaultLogEntry",
+    "GrayFailure",
     "NodeCrash",
     "NodeSlowdown",
     "RetryPolicy",
+    "RetryStorm",
+    "ThunderingHerd",
     "TransientFaults",
+    "affected_versions",
 ]
+
+
+def _require_finite(label: str, value: float) -> None:
+    """Reject NaN/inf timestamps and rates with a clear error."""
+    if not math.isfinite(value):
+        raise ValueError(f"{label} must be finite, got {value!r}")
+
+
+def _require_timestamp(label: str, value: float) -> None:
+    _require_finite(label, value)
+    if value < 0.0:
+        raise ValueError(f"{label} must be non-negative")
+
+
+def _require_window(start_label: str, start: float, end_label: str, end: float) -> None:
+    _require_timestamp(start_label, start)
+    _require_finite(end_label, end)
+    if end <= start:
+        raise ValueError(f"{end_label} must lie after {start_label}")
+
+
+def _require_rate(label: str, value: float) -> None:
+    _require_finite(label, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{label} must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -60,12 +116,13 @@ class NodeCrash:
     recover_at_s: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.at_s < 0.0:
-            raise ValueError("at_s must be non-negative")
+        _require_timestamp("at_s", self.at_s)
         if self.node_index < 0:
             raise ValueError("node_index must be non-negative")
-        if self.recover_at_s is not None and self.recover_at_s <= self.at_s:
-            raise ValueError("recover_at_s must lie after at_s")
+        if self.recover_at_s is not None:
+            _require_finite("recover_at_s", self.recover_at_s)
+            if self.recover_at_s <= self.at_s:
+                raise ValueError("recover_at_s must lie after at_s")
 
 
 @dataclass(frozen=True)
@@ -90,14 +147,16 @@ class NodeSlowdown:
     until_s: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.at_s < 0.0:
-            raise ValueError("at_s must be non-negative")
+        _require_timestamp("at_s", self.at_s)
         if self.node_index < 0:
             raise ValueError("node_index must be non-negative")
+        _require_finite("speed_factor", self.speed_factor)
         if self.speed_factor <= 0.0:
             raise ValueError("speed_factor must be positive")
-        if self.until_s is not None and self.until_s <= self.at_s:
-            raise ValueError("until_s must lie after at_s")
+        if self.until_s is not None:
+            _require_finite("until_s", self.until_s)
+            if self.until_s <= self.at_s:
+                raise ValueError("until_s must lie after at_s")
 
 
 @dataclass(frozen=True)
@@ -120,12 +179,8 @@ class TransientFaults:
     versions: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
-        if self.start_s < 0.0:
-            raise ValueError("start_s must be non-negative")
-        if self.end_s <= self.start_s:
-            raise ValueError("end_s must lie after start_s")
-        if not 0.0 <= self.failure_probability <= 1.0:
-            raise ValueError("failure_probability must be in [0, 1]")
+        _require_window("start_s", self.start_s, "end_s", self.end_s)
+        _require_rate("failure_probability", self.failure_probability)
 
     def affects(self, version: str, time_s: float) -> bool:
         """Whether a completion of ``version`` at ``time_s`` is in scope."""
@@ -134,8 +189,257 @@ class TransientFaults:
         return self.versions is None or version in self.versions
 
 
+@dataclass(frozen=True)
+class GrayFailure:
+    """A slow-but-alive node: passes health checks, serves garbage slowly.
+
+    The node is never evicted and never refuses work — the load balancer
+    keeps routing to it, which is exactly what makes gray failures the
+    hardest production fault to catch.  While the failure is active the
+    node's effective speed is multiplied by ``speed_factor`` (latency
+    inflation) and every answer it produces has its confidence multiplied
+    by ``confidence_factor`` (silent quality loss — under a tiered policy
+    this shows up as extra escalations, not as errors).
+
+    Attributes:
+        at_s: Virtual time the gray failure begins.
+        version: Pool the node belongs to.
+        node_index: Index of the victim within the pool at onset time; an
+            index beyond the current pool is logged as a no-op.
+        speed_factor: Multiplier on the node's effective speed in
+            ``(0, 1]`` — applies to batches started while gray.
+        confidence_factor: Multiplier in ``[0, 1]`` applied to the
+            confidence of every result the node produces while gray.
+        until_s: When given, the node recovers (speed and quality) at
+            this time.
+    """
+
+    at_s: float
+    version: str
+    node_index: int = 0
+    speed_factor: float = 0.5
+    confidence_factor: float = 0.8
+    until_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require_timestamp("at_s", self.at_s)
+        if self.node_index < 0:
+            raise ValueError("node_index must be non-negative")
+        _require_finite("speed_factor", self.speed_factor)
+        if not 0.0 < self.speed_factor <= 1.0:
+            raise ValueError("speed_factor must be in (0, 1]")
+        _require_rate("confidence_factor", self.confidence_factor)
+        if self.until_s is not None:
+            _require_finite("until_s", self.until_s)
+            if self.until_s <= self.at_s:
+                raise ValueError("until_s must lie after at_s")
+
+
+@dataclass(frozen=True)
+class CascadePolicy:
+    """Crash propagation: a node death stresses its pool's survivors.
+
+    A run-long policy, not a timed event: whenever a node in an affected
+    pool crashes, a cascade window ``[crash, crash + window_s)`` opens on
+    that pool.  Completions finishing inside the window fail with
+    probability ``min(max_probability, base_probability + load_factor *
+    load)`` where ``load`` is the mean queue depth per surviving node —
+    the more backed up the pool, the likelier the overload propagates.
+    Draws come from the engine's dedicated fault RNG, so cascade-free
+    runs consume no extra randomness.
+
+    Attributes:
+        version: Pool the policy watches; ``None`` watches every pool.
+        window_s: Length of the cascade window a crash opens.
+        base_probability: Failure probability floor inside a window.
+        load_factor: Additional failure probability per unit of mean
+            queue depth per surviving node.
+        max_probability: Failure probability ceiling.
+    """
+
+    version: Optional[str] = None
+    window_s: float = 5.0
+    base_probability: float = 0.2
+    load_factor: float = 0.05
+    max_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        _require_finite("window_s", self.window_s)
+        if self.window_s <= 0.0:
+            raise ValueError("window_s must be positive")
+        _require_rate("base_probability", self.base_probability)
+        _require_rate("max_probability", self.max_probability)
+        if self.base_probability > self.max_probability:
+            raise ValueError(
+                "base_probability must not exceed max_probability"
+            )
+        _require_finite("load_factor", self.load_factor)
+        if self.load_factor < 0.0:
+            raise ValueError("load_factor must be non-negative")
+
+    def probability(self, load: float) -> float:
+        """Failure probability at ``load`` mean queued jobs per survivor."""
+        return min(
+            self.max_probability,
+            self.base_probability + self.load_factor * max(0.0, load),
+        )
+
+
+@dataclass(frozen=True)
+class RetryStorm:
+    """A correlated transient window: failures arrive in bursts.
+
+    Where :class:`TransientFaults` fails completions independently,
+    a retry storm divides its window into buckets of ``bucket_s`` and
+    marks a ``bad_fraction`` of them *bad* (from an RNG derived from the
+    run seed, precomputed at engine construction so completion
+    interleaving cannot change which buckets are bad).  Completions in a
+    bad bucket fail with ``failure_probability``; completions in good
+    buckets always succeed.  The result is the storm shape: bursts of
+    correlated failures whose retries land together on the next bucket —
+    amplifying load exactly when capacity is already failing.
+
+    Attributes:
+        start_s: Virtual time the storm window opens.
+        end_s: Virtual time the storm window closes.
+        failure_probability: Failure probability inside a *bad* bucket.
+        bucket_s: Width of the correlation buckets.
+        bad_fraction: Fraction of buckets (in probability) marked bad.
+        versions: Affected version names; ``None`` affects every version.
+    """
+
+    start_s: float
+    end_s: float
+    failure_probability: float = 0.9
+    bucket_s: float = 0.5
+    bad_fraction: float = 0.5
+    versions: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        _require_window("start_s", self.start_s, "end_s", self.end_s)
+        _require_rate("failure_probability", self.failure_probability)
+        _require_rate("bad_fraction", self.bad_fraction)
+        _require_finite("bucket_s", self.bucket_s)
+        if self.bucket_s <= 0.0:
+            raise ValueError("bucket_s must be positive")
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of correlation buckets covering the window."""
+        return int(math.ceil((self.end_s - self.start_s) / self.bucket_s))
+
+    def bucket_of(self, time_s: float) -> Optional[int]:
+        """Bucket index containing ``time_s``, or ``None`` outside."""
+        if not self.start_s <= time_s < self.end_s:
+            return None
+        return min(
+            self.n_buckets - 1,
+            int((time_s - self.start_s) / self.bucket_s),
+        )
+
+    def affects(self, version: str, time_s: float) -> bool:
+        """Whether a completion of ``version`` at ``time_s`` is in scope."""
+        if not self.start_s <= time_s < self.end_s:
+            return False
+        return self.versions is None or version in self.versions
+
+
+@dataclass(frozen=True)
+class ColdStartWave:
+    """Freshly provisioned nodes serve degraded for a warmup window.
+
+    A run-long policy: every node that joins an affected pool *after the
+    run starts* — an autoscaler scale-up, a crash replacement — serves at
+    ``speed_factor`` of its steady-state speed, with answer confidence
+    multiplied by ``confidence_factor``, for ``warmup_s`` after joining.
+    Capacity that arrives cold is exactly when thundering herds hurt
+    most; this event makes that visible.
+
+    Attributes:
+        warmup_s: Warmup window length after a node joins its pool.
+        speed_factor: Speed multiplier in ``(0, 1]`` while warming.
+        confidence_factor: Confidence multiplier in ``[0, 1]`` applied to
+            results produced while warming (``1.0`` degrades speed only).
+        version: Pool the wave covers; ``None`` covers every pool.
+    """
+
+    warmup_s: float
+    speed_factor: float = 0.5
+    confidence_factor: float = 1.0
+    version: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require_finite("warmup_s", self.warmup_s)
+        if self.warmup_s <= 0.0:
+            raise ValueError("warmup_s must be positive")
+        _require_finite("speed_factor", self.speed_factor)
+        if not 0.0 < self.speed_factor <= 1.0:
+            raise ValueError("speed_factor must be in (0, 1]")
+        _require_rate("confidence_factor", self.confidence_factor)
+
+    def covers(self, version: str) -> bool:
+        """Whether nodes joining ``version``'s pool warm up under this wave."""
+        return self.version is None or self.version == version
+
+
+@dataclass(frozen=True)
+class ThunderingHerd:
+    """An arrival-side outage: held traffic returns as one synchronized surge.
+
+    Requests that would have arrived inside ``[start_s, end_s)`` (clients
+    blocked behind an outage, a cache flush, a mobile push) are *held* and
+    released together at ``end_s``, compressed into a burst of width
+    ``spread_s`` that preserves their original order.  The engine applies
+    the transform to generated workloads via
+    :class:`~repro.service.simulation.arrivals.ThunderingHerdArrivals`;
+    no RNG draws are added, so the same seed yields the same base
+    arrivals with and without the herd.
+
+    Attributes:
+        start_s: Virtual time the hold window opens.
+        end_s: Virtual time held traffic is released.
+        spread_s: Width of the release burst (``0`` releases every held
+            arrival at exactly ``end_s``).
+    """
+
+    start_s: float
+    end_s: float
+    spread_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        _require_window("start_s", self.start_s, "end_s", self.end_s)
+        _require_finite("spread_s", self.spread_s)
+        if self.spread_s < 0.0:
+            raise ValueError("spread_s must be non-negative")
+
+
 #: Any schedulable fault.
-FaultEvent = Union[NodeCrash, NodeSlowdown, TransientFaults]
+FaultEvent = Union[
+    NodeCrash,
+    NodeSlowdown,
+    TransientFaults,
+    GrayFailure,
+    CascadePolicy,
+    RetryStorm,
+    ColdStartWave,
+    ThunderingHerd,
+]
+
+
+def affected_versions(fault: FaultEvent) -> Tuple[str, ...]:
+    """Version names a fault event targets (empty = none / every pool).
+
+    The engine validates these against the deployed versions at
+    construction, so a typoed pool name fails fast instead of silently
+    simulating a healthy run.
+    """
+    if isinstance(fault, (TransientFaults, RetryStorm)):
+        return fault.versions or ()
+    if isinstance(fault, (CascadePolicy, ColdStartWave)):
+        return (fault.version,) if fault.version is not None else ()
+    if isinstance(fault, ThunderingHerd):
+        return ()
+    return (fault.version,)
 
 
 @dataclass(frozen=True)
@@ -150,17 +454,35 @@ class RetryPolicy:
     answerable without the failed leg (a confident fast result makes an
     accurate-leg failure harmless under ``conc``/``et``).
 
+    The budget fields bound retry *amplification*: under a retry storm an
+    unbounded policy multiplies offered load exactly when capacity is
+    already failing.  Every budget defaults to unbounded, so existing
+    scenarios (and their golden digests) are untouched; when a budget
+    denies a retry the request proceeds as if its attempts were exhausted
+    and the denial is recorded (``RequestRecord.retry_denied``, the
+    report's ``n_retry_denied``, and the invariant ledger).
+
     Attributes:
         max_attempts: Total tries per ``(request, version)`` job, including
             the first; ``1`` disables retries.
         backoff_s: Delay before the first retry.
         backoff_factor: Multiplier applied to the delay per further retry
             (``backoff_s * backoff_factor ** (attempt - 1)``).
+        retry_budget: Per-request cap on retries scheduled across all of
+            the request's legs; ``None`` is unbounded.
+        max_inflight_retries: Global cap on retries concurrently waiting
+            out their backoff; at the cap a would-be retry is denied.
+            ``None`` is unbounded.
+        max_total_retries: Global run-wide retry budget; once spent, no
+            further retry is ever scheduled.  ``None`` is unbounded.
     """
 
     max_attempts: int = 1
     backoff_s: float = 0.0
     backoff_factor: float = 2.0
+    retry_budget: Optional[int] = None
+    max_inflight_retries: Optional[int] = None
+    max_total_retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -169,6 +491,13 @@ class RetryPolicy:
             raise ValueError("backoff_s must be non-negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be at least 1")
+        for label, value in (
+            ("retry_budget", self.retry_budget),
+            ("max_inflight_retries", self.max_inflight_retries),
+            ("max_total_retries", self.max_total_retries),
+        ):
+            if value is not None and value < 0:
+                raise ValueError(f"{label} must be non-negative")
 
     def delay_before_retry(self, failed_attempt: int) -> float:
         """Backoff before re-driving after ``failed_attempt`` (1-based)."""
@@ -184,7 +513,9 @@ class FaultLogEntry:
     Attributes:
         time_s: Virtual time the entry was logged.
         kind: ``"crash"``, ``"recover"``, ``"slowdown"``, ``"restore"``,
-            ``"transient-window"`` or ``"skipped"``.
+            ``"transient-window"``, ``"gray"``, ``"gray-restore"``,
+            ``"cascade"``, ``"storm-window"``, ``"cold-start"``,
+            ``"warmed"``, ``"herd"`` or ``"skipped"``.
         version: Affected pool.
         node_id: Affected node, when the fault targets one.
         detail: Free-form human-readable context.

@@ -30,6 +30,14 @@ The laws:
    retired nodes.
 5. **Drained means drained** — when the report is emitted, no queue still
    holds work.
+6. **Retry budgets bind** — retries actually driven never exceed the
+   policy's per-request ``retry_budget`` or run-wide ``max_total_retries``
+   when those are set, and a record's ``retry_denied`` flag agrees with
+   the ledger of denials the engine reported.
+7. **Degradations recover at most once** — in the fault log, per version,
+   ``gray-restore`` entries never outnumber ``gray`` onsets and ``warmed``
+   entries never outnumber ``cold-start`` onsets (a restore without an
+   onset would mean the engine un-degraded a healthy node).
 
 The checker is pure bookkeeping: it draws no randomness and schedules no
 events, so enabling it cannot change simulated behaviour (golden digests
@@ -47,10 +55,13 @@ _TOL = 1e-6
 
 #: Attempt outcomes the engine may report.
 _OUTCOMES = frozenset(
-    {"ok", "transient", "crash", "cancelled", "unserved", "detached"}
+    {"ok", "transient", "crash", "cascade", "cancelled", "unserved", "detached"}
 )
 #: Outcomes after which a retry (a further attempt) is legal.
-_RETRYABLE = frozenset({"transient", "crash"})
+_RETRYABLE = frozenset({"transient", "crash", "cascade"})
+
+#: Fault-log pairs whose restores must never outnumber their onsets.
+_PAIRED_FAULT_KINDS = (("gray", "gray-restore"), ("cold-start", "warmed"))
 
 
 class InvariantViolation(AssertionError):
@@ -70,6 +81,8 @@ class InvariantChecker:
         self._last_outcome: Dict[Tuple[str, str], str] = {}
         self._ok_seconds: Dict[Tuple[str, str], float] = {}
         self._detached: Set[Tuple[str, str]] = set()
+        self._retry_denied: Set[str] = set()
+        self._denials = 0
 
     # ------------------------------------------------------------------
     # ledger hooks (called by the engine, in event order)
@@ -173,6 +186,17 @@ class InvariantChecker:
                 f"{key}: orphan completion for an attempt never detached"
             )
 
+    def on_retry_denied(self, request_id: str, version: str, t: float) -> None:
+        """A retry budget refused the retry the policy wanted to schedule."""
+        self.tick(t)
+        key = (request_id, version)
+        if self._started.get(key, 0) < 1:
+            raise InvariantViolation(
+                f"{key}: retry denied before any attempt started"
+            )
+        self._retry_denied.add(request_id)
+        self._denials += 1
+
     def on_shed(self, request_id: str, t: float) -> None:
         """Admission control dropped one arrived request unserved.
 
@@ -262,6 +286,36 @@ class InvariantChecker:
                     f"max_attempts={retry.max_attempts}"
                 )
 
+        # 6. retry budgets bind
+        denied_in_report = {
+            record.request_id
+            for record in report.records
+            if getattr(record, "retry_denied", False)
+        }
+        if denied_in_report != self._retry_denied:
+            raise InvariantViolation(
+                "retry_denied flags in the report disagree with the "
+                f"ledger ({len(denied_in_report)} flagged vs "
+                f"{len(self._retry_denied)} denied)"
+            )
+        budget = getattr(retry, "retry_budget", None)
+        total_budget = getattr(retry, "max_total_retries", None)
+        if budget is not None or total_budget is not None:
+            total_retries = 0
+            for record in report.records:
+                retries = getattr(record, "retries", 0)
+                total_retries += retries
+                if budget is not None and retries > budget:
+                    raise InvariantViolation(
+                        f"record {record.request_id!r} drove {retries} "
+                        f"retries past retry_budget={budget}"
+                    )
+            if total_budget is not None and total_retries > total_budget:
+                raise InvariantViolation(
+                    f"{total_retries} retries driven across the run exceed "
+                    f"max_total_retries={total_budget}"
+                )
+
         # 4. billing reconciliation (per record, then per version)
         for record in report.records:
             if getattr(record, "shed", False) != (
@@ -317,3 +371,22 @@ class InvariantChecker:
             raise InvariantViolation(
                 f"report emitted with work still queued: {pending}"
             )
+
+        # 7. degradations recover at most once (fault-log pairing)
+        for onset_kind, restore_kind in _PAIRED_FAULT_KINDS:
+            onsets: Dict[str, int] = {}
+            restores: Dict[str, int] = {}
+            for entry in getattr(report, "fault_log", ()):
+                if entry.kind == onset_kind:
+                    onsets[entry.version] = onsets.get(entry.version, 0) + 1
+                elif entry.kind == restore_kind:
+                    restores[entry.version] = (
+                        restores.get(entry.version, 0) + 1
+                    )
+            for version, count in restores.items():
+                if count > onsets.get(version, 0):
+                    raise InvariantViolation(
+                        f"version {version!r}: {count} {restore_kind!r} "
+                        f"entries but only {onsets.get(version, 0)} "
+                        f"{onset_kind!r} onset(s)"
+                    )

@@ -73,6 +73,11 @@ class RequestRecord:
         degraded: True when admission control force-degraded the request
             to the fast tier (it was answered, by a cheaper ensemble
             than routing planned).
+        retry_denied: True when a retry budget
+            (:class:`~repro.service.simulation.faults.RetryPolicy`'s
+            ``retry_budget`` / ``max_inflight_retries`` /
+            ``max_total_retries``) refused a retry this request's policy
+            would otherwise have scheduled.
         result: The answering version's output (``None`` for a failed
             request).  Excluded from :meth:`LoadTestReport.digest` —
             outputs can be arbitrary objects; behaviour is pinned by the
@@ -98,6 +103,7 @@ class RequestRecord:
     confidence: Optional[float] = None
     shed: bool = False
     degraded: bool = False
+    retry_denied: bool = False
 
 
 @dataclass
@@ -214,9 +220,24 @@ class LoadTestReport:
         return 1.0 - (self.n_failed + self.n_shed) / self.n_requests
 
     @property
+    def n_retry_denied(self) -> int:
+        """Number of requests that had a retry denied by a budget."""
+        return sum(1 for r in self.records if r.retry_denied)
+
+    @property
     def total_retries(self) -> int:
         """Job attempts re-driven across all requests."""
         return sum(r.retries for r in self.records)
+
+    @property
+    def retry_amplification(self) -> float:
+        """Job attempts driven per resolved request (``1.0`` = no retries).
+
+        The storm-containment number: an unbounded retry policy under a
+        retry storm multiplies offered load by this factor exactly when
+        capacity is already failing.
+        """
+        return 1.0 + self.total_retries / self.n_requests
 
     @property
     def makespan_s(self) -> float:
@@ -273,7 +294,9 @@ class LoadTestReport:
             "n_failed": self.n_failed,
             "n_shed": self.n_shed,
             "n_degraded": self.n_degraded,
+            "n_retry_denied": self.n_retry_denied,
             "total_retries": self.total_retries,
+            "retry_amplification": self.retry_amplification,
             "p50_latency_s": self.p50_latency_s,
             "p95_latency_s": self.p95_latency_s,
             "p99_latency_s": self.p99_latency_s,
@@ -351,11 +374,13 @@ class LoadTestReport:
                 f"{version}={r.node_seconds[version]:.12e}"
                 for version in sorted(r.node_seconds)
             )
-            # Shed/degraded markers append only when set, so an
-            # open-loop run's digest is byte-identical to the
-            # pre-control-plane format (the golden traces stand).
-            flags = ("|shed" if r.shed else "") + (
-                "|degraded" if r.degraded else ""
+            # Shed/degraded/retry-denied markers append only when set, so
+            # an open-loop, budget-free run's digest is byte-identical to
+            # the pre-control-plane format (the golden traces stand).
+            flags = (
+                ("|shed" if r.shed else "")
+                + ("|degraded" if r.degraded else "")
+                + ("|retry-denied" if r.retry_denied else "")
             )
             h.update(
                 (
@@ -419,6 +444,7 @@ class RecordColumns:
         "retries",
         "shed",
         "degraded",
+        "retry_denied",
     )
 
     def __init__(
@@ -442,6 +468,7 @@ class RecordColumns:
         retries: Optional[np.ndarray] = None,
         shed: Optional[np.ndarray] = None,
         degraded: Optional[np.ndarray] = None,
+        retry_denied: Optional[np.ndarray] = None,
     ) -> None:
         n = len(request_ids)
         self.request_ids = request_ids
@@ -465,6 +492,14 @@ class RecordColumns:
         self.shed = shed if shed is not None else np.zeros(n, dtype=bool)
         self.degraded = (
             degraded if degraded is not None else np.zeros(n, dtype=bool)
+        )
+        # Retry budgets only matter on faulty runs, which always fall
+        # back to the legacy engine — the columnar path never denies a
+        # retry, so the default column is all-False.
+        self.retry_denied = (
+            retry_denied
+            if retry_denied is not None
+            else np.zeros(n, dtype=bool)
         )
 
     def __len__(self) -> int:
@@ -507,6 +542,7 @@ class RecordColumns:
             confidence=float(self.confidence[index]),
             shed=bool(self.shed[index]),
             degraded=bool(self.degraded[index]),
+            retry_denied=bool(self.retry_denied[index]),
         )
 
 
@@ -587,6 +623,7 @@ _DIGEST_RECORD_FIELDS = (
     "node_seconds",
     "shed",
     "degraded",
+    "retry_denied",
 )
 
 _FLOAT_RECORD_FIELDS = frozenset({"tier", "arrival_s", "finished_s", "invocation_cost"})
@@ -601,7 +638,7 @@ def _render_field(name: str, value: object) -> str:
         return ",".join(f"{v}={value[v]:.12e}" for v in sorted(value))
     if name == "versions_used":
         return ",".join(value)
-    if name in ("escalated", "failed", "shed", "degraded"):
+    if name in ("escalated", "failed", "shed", "degraded", "retry_denied"):
         return str(int(value))
     return str(value)
 

@@ -42,10 +42,15 @@ from repro.service.simulation.autoscaler import Autoscaler, AutoscalerConfig
 from repro.service.simulation.batching import BatchingConfig
 from repro.service.simulation.engine import ServingSimulator
 from repro.service.simulation.faults import (
+    CascadePolicy,
+    ColdStartWave,
     FaultEvent,
+    GrayFailure,
     NodeCrash,
     NodeSlowdown,
     RetryPolicy,
+    RetryStorm,
+    ThunderingHerd,
     TransientFaults,
 )
 from repro.service.simulation.replay import build_replay_cluster
@@ -54,6 +59,7 @@ from repro.service.simulation.report import LoadTestReport
 __all__ = [
     "ScenarioSpec",
     "canonical_scenarios",
+    "chaos_scenarios",
     "osfa_configuration",
     "run_scenario",
     "scenario_measurements",
@@ -351,5 +357,140 @@ def canonical_scenarios() -> Dict[str, ScenarioSpec]:
                 ),
             ),
             seed=16,
+        ),
+    }
+
+
+def chaos_scenarios() -> Dict[str, ScenarioSpec]:
+    """The five chaos scenarios, keyed by name — one per new fault type.
+
+    Defined over the same toy measurements and ``seq(fast, slow, 0.6)``
+    tier mix as :func:`canonical_scenarios` (which they deliberately do
+    not touch: the canonical six stay bit-identical to their goldens).
+    Each scenario exercises one failure shape a serving stack must
+    degrade through *gracefully*:
+
+    ``gray-failure``
+        One fast node turns slow-but-alive for 20 virtual seconds: 3.3x
+        latency, confidences silently halved.  Nothing crashes; the
+        damage shows up as tail inflation and extra escalations.
+    ``cascade``
+        An accurate node dies and its death stresses the survivor: for a
+        window after the crash, completions on the pool fail with a
+        load-conditional probability.
+    ``retry-storm``
+        A correlated-failure window on the fast tier plus an aggressive
+        retry policy — contained by a per-request retry budget and a
+        global in-flight-retry cap.
+    ``cold-start``
+        A flash crowd forces the autoscaler to spawn nodes that serve at
+        half speed (and slightly deflated confidence) for a warmup
+        window — capacity arrives exactly when it is least useful.
+    ``thundering-herd``
+        Arrivals inside a 6-second outage window are held and released
+        as one synchronized surge.
+    """
+    tiered = _tiered_configuration
+    return {
+        "gray-failure": ScenarioSpec(
+            name="gray-failure",
+            arrivals=PoissonArrivals(3.0),
+            n_requests=150,
+            pools={"fast": 2, "slow": 2},
+            configuration=tiered(),
+            faults=(
+                GrayFailure(
+                    at_s=5.0,
+                    version="fast",
+                    node_index=0,
+                    speed_factor=0.3,
+                    confidence_factor=0.5,
+                    until_s=25.0,
+                ),
+            ),
+            seed=21,
+        ),
+        "cascade": ScenarioSpec(
+            name="cascade",
+            arrivals=PoissonArrivals(5.0),
+            n_requests=150,
+            pools={"fast": 2, "slow": 2},
+            configuration=tiered(),
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.05),
+            faults=(
+                NodeCrash(
+                    at_s=6.0, version="slow", node_index=0, recover_at_s=20.0
+                ),
+                CascadePolicy(
+                    version="slow",
+                    window_s=8.0,
+                    base_probability=0.25,
+                    load_factor=0.1,
+                    max_probability=0.85,
+                ),
+            ),
+            seed=22,
+        ),
+        "retry-storm": ScenarioSpec(
+            name="retry-storm",
+            arrivals=PoissonArrivals(4.0),
+            n_requests=150,
+            pools={"fast": 2, "slow": 2},
+            configuration=tiered(),
+            retry=RetryPolicy(
+                max_attempts=4,
+                backoff_s=0.02,
+                retry_budget=2,
+                max_inflight_retries=12,
+            ),
+            faults=(
+                RetryStorm(
+                    start_s=5.0,
+                    end_s=20.0,
+                    failure_probability=0.85,
+                    bucket_s=0.5,
+                    bad_fraction=0.6,
+                    versions=("fast",),
+                ),
+            ),
+            seed=23,
+        ),
+        "cold-start": ScenarioSpec(
+            name="cold-start",
+            arrivals=SpikeArrivals(
+                2.0,
+                spike_start_s=8.0,
+                spike_duration_s=10.0,
+                spike_multiplier=6.0,
+            ),
+            n_requests=150,
+            pools={"fast": 1, "slow": 1},
+            configuration=tiered(),
+            autoscaler_config=AutoscalerConfig(
+                min_nodes=1,
+                max_nodes=4,
+                scale_up_queue_depth=2.0,
+                evaluation_interval_s=0.5,
+                cooldown_s=1.0,
+            ),
+            faults=(
+                ColdStartWave(
+                    warmup_s=6.0,
+                    speed_factor=0.4,
+                    confidence_factor=0.8,
+                ),
+            ),
+            seed=24,
+        ),
+        "thundering-herd": ScenarioSpec(
+            name="thundering-herd",
+            arrivals=PoissonArrivals(4.0),
+            n_requests=150,
+            pools={"fast": 2, "slow": 2},
+            configuration=tiered(),
+            faults=(
+                ThunderingHerd(start_s=8.0, end_s=14.0, spread_s=0.25),
+            ),
+            seed=25,
         ),
     }

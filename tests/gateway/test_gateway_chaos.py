@@ -1,0 +1,201 @@
+"""Gateway graceful-degradation guarantees under the chaos vocabulary.
+
+The contract pinned here: whatever chaos the backend scenario injects —
+cascading crashes, retry storms against exhausted budgets, an entire
+deployment dying mid-session — ``drain()`` always returns, and every
+submitted ticket resolves to either a response or a
+:class:`~repro.core.errors.RequestFailedError`.  A gateway that hangs or
+leaks pending tickets under failure has no business calling itself
+degraded-mode-aware.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import EnsembleConfiguration
+from repro.core.errors import RequestFailedError
+from repro.core.policies import SequentialPolicy
+from repro.service.gateway import SimulatedBackend, TierGateway
+from repro.service.request import ServiceRequest
+from repro.service.simulation import (
+    CascadePolicy,
+    NodeCrash,
+    RetryPolicy,
+    RetryStorm,
+    build_replay_cluster,
+    chaos_scenarios,
+    run_scenario,
+    scenario_measurements,
+)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return scenario_measurements()
+
+
+def _chaos_session(
+    measurements,
+    *,
+    faults,
+    retry=None,
+    pools=None,
+    n=8,
+    seed=5,
+):
+    """A submit/drain session over seq(fast, slow, 0.6) with chaos injected."""
+    cluster = build_replay_cluster(
+        measurements, pools if pools is not None else {"fast": 2, "slow": 2}
+    )
+    backend = SimulatedBackend(
+        cluster,
+        faults=faults,
+        retry=retry if retry is not None else RetryPolicy(),
+        check_invariants=True,
+        seed=seed,
+    )
+    gateway = TierGateway(
+        backend,
+        configuration=EnsembleConfiguration(
+            "cfg_seq", SequentialPolicy("fast", "slow", 0.6)
+        ),
+    )
+    payloads = measurements.request_ids
+    tickets = [
+        gateway.submit(
+            ServiceRequest(request_id=f"c{i:02d}", payload=payloads[i % len(payloads)]),
+            at_time=0.25 * i,
+        )
+        for i in range(n)
+    ]
+    return gateway, tickets
+
+
+def assert_all_tickets_resolve(gateway, tickets):
+    """drain() returns, and every ticket is terminally resolved."""
+    responses = gateway.drain()
+    assert all(t.done for t in tickets)
+    resolved, failed = 0, 0
+    for ticket in tickets:
+        if ticket.ok:
+            assert ticket.result().request_id == ticket.request.request_id
+            resolved += 1
+        else:
+            with pytest.raises(RequestFailedError):
+                ticket.result()
+            failed += 1
+    assert resolved + failed == len(tickets)
+    assert len(responses) == resolved
+    return resolved, failed
+
+
+class TestDrainUnderChaos:
+    def test_cascade_session_resolves_every_ticket(self, measurements):
+        gateway, tickets = _chaos_session(
+            measurements,
+            faults=(
+                NodeCrash(at_s=0.3, version="fast", node_index=0, recover_at_s=3.0),
+                CascadePolicy(
+                    version="fast",
+                    window_s=4.0,
+                    base_probability=0.5,
+                    load_factor=0.2,
+                ),
+            ),
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.05),
+            n=12,
+        )
+        resolved, _ = assert_all_tickets_resolve(gateway, tickets)
+        assert resolved > 0  # the cascade degrades, it does not blackhole
+
+    def test_retry_storm_with_exhausted_budgets_terminates(self, measurements):
+        gateway, tickets = _chaos_session(
+            measurements,
+            faults=(
+                RetryStorm(
+                    start_s=0.0,
+                    end_s=60.0,
+                    failure_probability=1.0,
+                    bucket_s=0.5,
+                    bad_fraction=1.0,  # every bucket bad: worst case
+                ),
+            ),
+            retry=RetryPolicy(
+                max_attempts=4,
+                backoff_s=0.05,
+                retry_budget=2,
+                max_inflight_retries=4,
+                max_total_retries=10,
+            ),
+            n=10,
+        )
+        resolved, failed = assert_all_tickets_resolve(gateway, tickets)
+        assert failed == len(tickets)  # nothing survives a 100% storm
+        report = gateway.backend.last_report
+        assert report.n_retry_denied > 0
+        assert report.summary()["total_retries"] <= 10  # the global budget held
+
+    def test_all_nodes_dead_still_resolves(self, measurements):
+        """Every node in every pool dies before anything completes and
+        never recovers: tickets must fail cleanly, not hang."""
+        gateway, tickets = _chaos_session(
+            measurements,
+            # Surviving pools reindex after each death, so both crashes
+            # target index 0, one after the other.
+            faults=tuple(
+                NodeCrash(at_s=at, version=version, node_index=0)
+                for version in ("fast", "slow")
+                for at in (0.01, 0.02)
+            ),
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.05),
+            n=6,
+        )
+        resolved, failed = assert_all_tickets_resolve(gateway, tickets)
+        assert resolved == 0
+        assert failed == len(tickets)
+
+    def test_dead_pool_with_cascade_and_storm_resolves(self, measurements):
+        """The stacked worst case: the accurate pool dies, a cascade
+        policy watches it, and a storm hammers the fast pool — drain
+        still resolves every ticket."""
+        gateway, tickets = _chaos_session(
+            measurements,
+            faults=(
+                NodeCrash(at_s=0.2, version="slow", node_index=0),
+                NodeCrash(at_s=0.25, version="slow", node_index=1),
+                CascadePolicy(version="slow", window_s=5.0, base_probability=0.6),
+                RetryStorm(
+                    start_s=0.0,
+                    end_s=30.0,
+                    failure_probability=0.7,
+                    bad_fraction=0.8,
+                    versions=("fast",),
+                ),
+            ),
+            retry=RetryPolicy(
+                max_attempts=3, backoff_s=0.05, retry_budget=3, max_total_retries=30
+            ),
+            n=12,
+        )
+        assert_all_tickets_resolve(gateway, tickets)
+
+
+class TestChaosScenarioParity:
+    """Gateway-driven chaos runs are byte-identical to run_scenario."""
+
+    @pytest.mark.parametrize("name", sorted(chaos_scenarios()))
+    def test_gateway_load_matches_run_scenario(self, name, measurements):
+        spec = chaos_scenarios()[name]
+        reference = run_scenario(spec, measurements, check_invariants=True)
+        backend = SimulatedBackend.from_scenario(
+            spec, measurements, check_invariants=True
+        )
+        gateway = TierGateway(backend, configuration=spec.configuration)
+        report = gateway.run_load(
+            spec.arrivals,
+            spec.n_requests,
+            tolerance=spec.tolerance,
+            objective=spec.objective,
+            payload_ids=measurements.request_ids,
+        )
+        assert report.digest() == reference.digest()

@@ -65,6 +65,7 @@ from repro.service.simulation import (
     TransientFaults,
     build_replay_cluster,
     canonical_scenarios,
+    chaos_scenarios,
     first_divergence,
     run_scenario,
     scenario_measurements,
@@ -387,6 +388,61 @@ def test_unsupported_shapes_fall_back_with_reason(toy):
     assert sim.fallback_reason is not None
     legacy = run_scenario(spec, toy, engine="legacy")
     assert_reports_identical(legacy, report)
+
+
+#: Each chaos scenario and the fault class its fallback reason must name.
+_CHAOS_FALLBACK = {
+    "gray-failure": "GrayFailure",
+    "cascade": "CascadePolicy",
+    "retry-storm": "RetryStorm",
+    "cold-start": "ColdStartWave",
+    "thundering-herd": "ThunderingHerd",
+}
+
+
+@pytest.mark.parametrize("name", sorted(_CHAOS_FALLBACK))
+def test_chaos_specs_fall_back_with_named_reason(name, toy):
+    """Every chaos fault type makes the columnar path ineligible, the
+    fallback reason names the fault class, and the replayed legacy run is
+    bit-identical to a pure legacy run."""
+    spec = chaos_scenarios()[name]
+    from repro.service.simulation import Autoscaler
+
+    sim = ServingSimulator(
+        build_replay_cluster(toy, dict(spec.pools)),
+        configuration=spec.configuration,
+        batching=spec.batching,
+        autoscaler=Autoscaler(spec.autoscaler_config)
+        if spec.autoscaler_config is not None
+        else None,
+        faults=spec.faults,
+        retry=spec.retry,
+        check_invariants=True,
+        seed=spec.seed,
+        engine="columnar",
+    )
+    report = sim.run(
+        spec.arrivals,
+        spec.n_requests,
+        tolerance=spec.tolerance,
+        objective=spec.objective,
+        payload_ids=toy.request_ids,
+    )
+    assert sim.engine_used == "legacy"
+    assert "fault schedule present" in sim.fallback_reason
+    assert _CHAOS_FALLBACK[name] in sim.fallback_reason
+    legacy = run_scenario(spec, toy, check_invariants=True, engine="legacy")
+    assert_reports_identical(legacy, report)
+
+
+@pytest.mark.parametrize("name", sorted(_CHAOS_FALLBACK))
+def test_chaos_scenarios_digest_identical_across_engines(name, toy):
+    """engine="columnar" on a chaos spec means 'fall back and replay' —
+    the report must match the legacy oracle digest-for-digest."""
+    spec = chaos_scenarios()[name]
+    legacy, columnar = run_both(spec, toy, check_invariants=True)
+    assert_reports_identical(legacy, columnar)
+    assert control_log_digest(legacy) == control_log_digest(columnar)
 
 
 def test_fuzzed_space_exercises_the_columnar_path(toy):

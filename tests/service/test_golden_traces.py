@@ -23,6 +23,7 @@ import pytest
 
 from repro.service.simulation import (
     canonical_scenarios,
+    chaos_scenarios,
     run_scenario,
     scenario_measurements,
 )
@@ -31,6 +32,22 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 #: The pinned scenarios: one healthy control, one crash, one retry storm.
 GOLDEN_SCENARIOS = ("baseline", "node-crash", "flaky")
+
+#: The pinned chaos vocabulary: one golden per first-class fault type.
+CHAOS_GOLDEN_SCENARIOS = (
+    "gray-failure",
+    "cascade",
+    "retry-storm",
+    "cold-start",
+    "thundering-herd",
+)
+
+
+def _scenario(name):
+    scenarios = canonical_scenarios()
+    if name in scenarios:
+        return scenarios[name]
+    return chaos_scenarios()[name]
 
 
 @pytest.fixture(scope="module")
@@ -58,13 +75,14 @@ def _golden_payload(name, report):
             ),
             "escalation_rate": round(summary["escalation_rate"], 6),
             "n_fault_events": summary["n_fault_events"],
+            "n_retry_denied": summary["n_retry_denied"],
         },
     }
 
 
-@pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+@pytest.mark.parametrize("name", GOLDEN_SCENARIOS + CHAOS_GOLDEN_SCENARIOS)
 def test_golden_trace(name, toy, update_golden):
-    spec = canonical_scenarios()[name]
+    spec = _scenario(name)
     report = run_scenario(spec, toy, check_invariants=True)
     payload = _golden_payload(name, report)
     path = GOLDEN_DIR / f"{name}.json"
