@@ -36,6 +36,7 @@ import os
 import time
 from pathlib import Path
 
+import history
 import numpy as np
 from conftest import save_artifact
 
@@ -382,6 +383,17 @@ def test_perf_serving_simulator(ic_cpu_measurements):
     )
 
 
+#: Which harness produces each BENCH_PERF.json section — recorded as the
+#: ``source`` of that section's longitudinal history entries.
+_SECTION_SOURCES = {
+    "rule_generator": "bench_perf",
+    "policy_evaluation": "bench_perf",
+    "serving_simulator": "bench_perf",
+    "control_plane": "bench_control_plane",
+    "resilience": "bench_resilience",
+}
+
+
 def _merge_output(section):
     """Merge a benchmark section into BENCH_PERF.json (and results/).
 
@@ -390,6 +402,13 @@ def _merge_output(section):
     noisy single-rep CI timings.  In smoke mode sections accumulate in
     the ``results/`` copy instead, so ``compare_perf.py`` sees all three
     sections, not just whichever test ran last.
+
+    Every merge also appends one entry per section to the append-only
+    longitudinal history (``results/bench_history.jsonl``), tagged with
+    commit / machine / engine / smoke metadata, so the single committed
+    point grows into a trajectory the trend checks can condition on.
+    History recording must never fail a benchmark: IO problems are
+    reported and swallowed.
     """
     target = OUTPUT if not SMOKE else None
     source = (
@@ -409,3 +428,13 @@ def _merge_output(section):
     if target is not None:
         target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     save_artifact("bench_perf", payload)
+
+    for name, body in section.items():
+        try:
+            history.record_run(
+                {name: body},
+                source=_SECTION_SOURCES.get(name, "bench_perf"),
+                smoke=SMOKE,
+            )
+        except OSError as exc:
+            print(f"bench_perf: history append failed for {name}: {exc}")

@@ -1,36 +1,68 @@
-"""Advisory perf-regression comparison for BENCH_PERF.json.
+"""Perf-regression comparison for BENCH_PERF.json — point and longitudinal.
 
-Compares the timing sections of a freshly produced ``bench_perf`` artefact
-against the committed baseline at the repo root and prints the relative
-deltas.  Timings beyond the threshold (default ±5 %, the advisory noise
-band the delta-rs benchmarking ADR recommends for shared runners) are
-flagged as ``ADVISORY`` lines.
+Three modes share one metric registry and one reporting format:
 
-The comparison is **advisory by design**: shared CI runners time small
-workloads noisily, so the exit code is always 0 unless ``--strict`` is
-given.  The committed ``BENCH_PERF.json`` (full-repetition numbers from a
-quiet machine) remains the perf trajectory of record; this script exists
-so a perf regression shows up in the CI log of the PR that caused it, not
-three PRs later.
+**Two-artefact mode** (the original gate)::
 
-Usage::
-
-    PYTHONPATH=src python -m pytest benchmarks/bench_perf.py -q -s  # fresh run
     python benchmarks/compare_perf.py BENCH_PERF.json results/bench_perf.json
+
+compares a fresh artefact against the committed baseline and prints
+relative deltas; timings beyond the threshold (default ±5 %, the
+advisory noise band the delta-rs benchmarking ADR recommends for shared
+runners) are flagged ``ADVISORY``.  Three historical bugs are fixed and
+pinned by ``tests/benchmarks/test_compare_perf.py``:
+
+* a metric that is a dict in one artefact and a scalar in the other
+  (a section gaining per-engine breakdowns) is reported as an explicit
+  ``schema changed`` row instead of crashing on ``set(old) & set(new)``;
+* zero baselines are compared, not skipped — a metric like
+  ``resilience.time_to_recover_s`` regressing from ``0.0`` is exactly
+  the transition that must be loudest, and is reported as an explicit
+  ``zero baseline`` row (only the division is guarded);
+* a smoke-run artefact (single-repetition CI timings) is no longer
+  flagged line-by-line against the full-repetition committed baseline —
+  per-metric flags are suppressed for sections whose smoke tags differ,
+  so fast-tier logs stop accumulating false ADVISORY regressions.
+
+**History mode**::
+
+    python benchmarks/compare_perf.py --against-history results/bench_perf.json
+
+scores the fresh artefact against the longitudinal history
+(``results/bench_history.jsonl``, see ``benchmarks/history.py``): each
+metric's fresh value is z-scored against the noise of *like-for-like*
+history entries (smoke runs against smoke-tagged entries only), and the
+whole series is scanned for step changes with the
+``ConfidenceTest``-conditioned changepoint detector — the measured
+noise history sets the bar, not a fixed band.
+
+**Branch mode**::
+
+    python benchmarks/compare_perf.py --branch-vs-main
+
+compares the current branch's history entries against main's on the
+same detector.
+
+All modes are advisory by default (exit 0); ``--strict`` exits non-zero
+when a non-suppressed regression is flagged.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator, Optional
 
-#: (section, metric) pairs compared, with direction: +1 means larger is
-#: better (throughput), -1 means smaller is better (wall time).  The
-#: ``control_plane`` metrics are deterministic simulation outputs, not
-#: timings: any delta at all is a behaviour change in the closed loop,
-#: so the same advisory gate doubles as a behavioural drift detector.
+#: (section, metric, direction) triples compared, with direction: +1 means
+#: larger is better (throughput), -1 means smaller is better (wall time).
+#: The ``control_plane`` and ``resilience`` metrics are deterministic
+#: simulation outputs, not timings: any delta at all is a behaviour change
+#: in the closed loop, so the same advisory gate doubles as a behavioural
+#: drift detector.
 METRICS = (
     ("rule_generator", "trials_per_s", +1),
     ("policy_evaluation", "rows_per_s", +1),
@@ -45,76 +77,403 @@ METRICS = (
     ("resilience", "retry_amplification", -1),
 )
 
+#: Minimum like-for-like history entries before a trend verdict is
+#: attempted; below this the history rows are informational.
+MIN_HISTORY = 5
 
-def compare(baseline: dict, fresh: dict, threshold: float):
-    """Yield ``(label, old, new, delta, flagged)`` rows for known metrics."""
+
+@dataclass(frozen=True)
+class Row:
+    """One comparison verdict.
+
+    Attributes:
+        label: Dotted metric label (``section.metric[.key]``).
+        old: Baseline value (``None`` for schema-change rows).
+        new: Fresh value (``None`` for schema-change rows).
+        delta: Relative delta (``None`` when undefined: schema changes
+            and zero baselines).
+        flagged: True when the row is an advisory regression.
+        note: Human-readable qualifier (schema change, zero baseline,
+            smoke suppression, trend statistics).
+    """
+
+    label: str
+    old: Optional[float]
+    new: Optional[float]
+    delta: Optional[float]
+    flagged: bool
+    note: str = ""
+
+
+def _metric_direction(label: str) -> Optional[int]:
+    """Direction for a flat ``section.metric[.key]`` label, if gated."""
+    for section, metric, direction in METRICS:
+        prefix = f"{section}.{metric}"
+        if label == prefix or label.startswith(prefix + "."):
+            return direction
+    return None
+
+
+def _compare_scalar(
+    label: str,
+    old: object,
+    new: object,
+    direction: int,
+    threshold: float,
+    *,
+    suppress: bool,
+) -> Iterator[Row]:
+    """Compare one scalar pair, guarding only the division by zero."""
+    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+        yield Row(
+            label,
+            None,
+            None,
+            None,
+            False,
+            note=f"schema changed: {type(old).__name__} vs {type(new).__name__}"
+            " — not comparable",
+        )
+        return
+    old = float(old)
+    new = float(new)
+    if old == 0.0:
+        if new == 0.0:
+            yield Row(label, old, new, 0.0, False)
+            return
+        # The transition off a zero baseline is undefined as a relative
+        # delta but is precisely the change that must be reported, not
+        # skipped: flag it when it moves in the regression direction.
+        adverse = direction * (new - old) < 0.0
+        note = "zero baseline — relative delta undefined"
+        if suppress and adverse:
+            note += "; smoke vs full baseline, flag suppressed"
+        yield Row(label, old, new, None, adverse and not suppress, note=note)
+        return
+    delta = (new - old) / old
+    would_flag = direction * delta < -threshold
+    note = ""
+    if suppress and would_flag:
+        note = "smoke vs full baseline — flag suppressed"
+    yield Row(label, old, new, delta, would_flag and not suppress, note=note)
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> Iterator[Row]:
+    """Yield comparison :class:`Row`\\ s for every gated metric."""
     for section, metric, direction in METRICS:
         old_section = baseline.get(section, {})
         new_section = fresh.get(section, {})
         old = old_section.get(metric)
         new = new_section.get(metric)
-        if old is None or new is None or not old:
+        if old is None or new is None:
             continue
-        if isinstance(old, dict) or isinstance(new, dict):
-            # per-engine breakdowns: compare matching keys
+        label = f"{section}.{metric}"
+        # A smoke artefact's single-repetition timings and a
+        # full-repetition baseline are different measurement regimes:
+        # report the deltas, suppress the flags.
+        suppress = bool(old_section.get("smoke")) != bool(new_section.get("smoke"))
+        old_is_dict = isinstance(old, dict)
+        new_is_dict = isinstance(new, dict)
+        if old_is_dict != new_is_dict:
+            shapes = (
+                ("per-key dict" if old_is_dict else type(old).__name__),
+                ("per-key dict" if new_is_dict else type(new).__name__),
+            )
+            yield Row(
+                label,
+                None,
+                None,
+                None,
+                False,
+                note=f"schema changed: {shapes[0]} -> {shapes[1]}"
+                " — re-baseline to compare",
+            )
+            continue
+        if old_is_dict:
             for key in sorted(set(old) & set(new)):
-                if not old[key]:
-                    continue
-                delta = (new[key] - old[key]) / old[key]
-                flagged = direction * delta < -threshold
-                yield f"{section}.{metric}.{key}", old[key], new[key], delta, flagged
+                yield from _compare_scalar(
+                    f"{label}.{key}",
+                    old[key],
+                    new[key],
+                    direction,
+                    threshold,
+                    suppress=suppress,
+                )
+            for key in sorted(set(old) - set(new)):
+                yield Row(
+                    f"{label}.{key}",
+                    None,
+                    None,
+                    None,
+                    False,
+                    note="schema changed: key dropped from fresh artefact",
+                )
+            for key in sorted(set(new) - set(old)):
+                yield Row(
+                    f"{label}.{key}",
+                    None,
+                    None,
+                    None,
+                    False,
+                    note="schema changed: key new in fresh artefact",
+                )
             continue
-        delta = (new - old) / old
-        flagged = direction * delta < -threshold
-        yield f"{section}.{metric}", old, new, delta, flagged
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path, help="committed BENCH_PERF.json")
-    parser.add_argument("fresh", type=Path, help="freshly produced artefact")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.05,
-        help="advisory regression threshold as a fraction (default 0.05)",
-    )
-    parser.add_argument(
-        "--strict",
-        action="store_true",
-        help="exit non-zero when any metric regresses past the threshold",
-    )
-    args = parser.parse_args(argv)
-
-    for path in (args.baseline, args.fresh):
-        if not path.exists():
-            print(f"compare_perf: {path} not found; nothing to compare")
-            return 0
-
-    baseline = json.loads(args.baseline.read_text())
-    fresh = json.loads(args.fresh.read_text())
-    if fresh.get("rule_generator", {}).get("smoke") or any(
-        fresh.get(s, {}).get("smoke") for s, _, _ in METRICS
-    ):
-        print(
-            "compare_perf: fresh artefact is a smoke run — deltas are "
-            "advisory noise estimates, not trajectory numbers"
+        yield from _compare_scalar(
+            label, old, new, direction, threshold, suppress=suppress
         )
 
-    flagged_any = False
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    return f"{value:,.4g}"
+
+
+def _print_rows(rows) -> None:
+    width = max((len(row.label) for row in rows), default=0)
+    for row in rows:
+        marker = "ADVISORY regression" if row.flagged else "ok"
+        delta = f"{row.delta:+7.1%}" if row.delta is not None else "      —"
+        note = f"  [{row.note}]" if row.note else ""
+        print(
+            f"{row.label:<{width}}  {_format_value(row.old):>14} -> "
+            f"{_format_value(row.new):>14}  ({delta})  {marker}{note}"
+        )
+
+
+def _load_json(path: Path) -> Optional[dict]:
+    if not path.exists():
+        print(f"compare_perf: {path} not found; nothing to compare")
+        return None
+    return json.loads(path.read_text())
+
+
+# ----------------------------------------------------------------------
+# history-backed modes (imported lazily so the classic two-artefact mode
+# keeps working without PYTHONPATH=src)
+# ----------------------------------------------------------------------
+def _history_modules():
+    try:
+        import history
+        from repro.stats.changepoint import detect_step, shift_zscore
+        from repro.stats.confidence import ConfidenceTest, normal_quantile
+    except ImportError as exc:  # pragma: no cover - environment guard
+        raise SystemExit(
+            f"compare_perf: history modes need PYTHONPATH=src ({exc})"
+        )
+    return history, detect_step, shift_zscore, ConfidenceTest, normal_quantile
+
+
+def _against_history(args) -> int:
+    """Score a fresh artefact against the longitudinal history."""
+    history, detect_step, shift_zscore, ConfidenceTest, normal_quantile = (
+        _history_modules()
+    )
+    fresh = _load_json(args.fresh_artifact)
+    if fresh is None:
+        return 0
+    test = ConfidenceTest(confidence=args.confidence)
+    quantile = normal_quantile(test.confidence)
+    flat_fresh = history.flatten_metrics(fresh)
+
+    rows = []
+    changepoints = {}
+    any_series = False
+    entries_by_smoke = {}
+    for label, value in sorted(flat_fresh.items()):
+        direction = _metric_direction(label)
+        if direction is None:
+            continue
+        section = label.split(".", 1)[0]
+        smoke = bool(fresh.get(section, {}).get("smoke"))
+        if smoke not in entries_by_smoke:
+            entries_by_smoke[smoke] = history.load_history(
+                args.history, smoke=smoke
+            )
+        entries = entries_by_smoke[smoke]
+        series = history.metric_series(entries, label)
+        if len(series) < MIN_HISTORY:
+            rows.append(
+                Row(
+                    label,
+                    None,
+                    value,
+                    None,
+                    False,
+                    note=f"insufficient {'smoke' if smoke else 'full'} history "
+                    f"(n={len(series)} < {MIN_HISTORY}) — recording, not judging",
+                )
+            )
+            continue
+        any_series = True
+        z = shift_zscore(series, value)
+        mean = sum(series) / len(series)
+        delta = (value - mean) / mean if mean else None
+        flagged = direction * z < -quantile
+        note = f"z={z:+.2f} vs {len(series)}-run history"
+        rows.append(Row(label, mean, value, delta, flagged, note=note))
+        step = detect_step(series + [value], test=test)
+        if step is not None:
+            changepoints[label] = step
+
+    if not rows:
+        print("compare_perf: no gated metrics found in fresh artefact")
+        return 0
+    print(
+        f"compare_perf: fresh artefact vs history ({args.history}), "
+        f"confidence {test.confidence:g} (|z| > {quantile:.2f} flags)"
+    )
+    _print_rows(rows)
+
+    if changepoints:
+        print("\nchangepoints detected over history + fresh run:")
+        for label, step in sorted(changepoints.items()):
+            rel = (
+                f"{step.relative_shift:+.1%}"
+                if math.isfinite(step.relative_shift)
+                else "off zero baseline"
+            )
+            print(
+                f"  {label}: {step.before_mean:,.4g} -> {step.after_mean:,.4g} "
+                f"({rel}) at run {step.index}, z={step.zscore:+.2f}"
+            )
+
+    all_entries = history.load_history(args.history)
+    for warning in history.machine_mismatch_warnings(
+        all_entries, current=history.machine_fingerprint()
+    ):
+        print(f"\nWARN: {warning}")
+
+    flagged_any = any(row.flagged for row in rows)
+    if not any_series and not flagged_any:
+        print(
+            "\ncompare_perf: history too short for trend verdicts — "
+            "entries will accumulate as runs append"
+        )
+    if flagged_any:
+        print(
+            "\ncompare_perf: at least one metric shifted past the "
+            f"{test.confidence:g} confidence bar of its own history noise"
+            + (" — strict mode fails" if args.strict else " — advisory only")
+        )
+        if args.strict:
+            return 1
+    return 0
+
+
+def _branch_vs_main(args) -> int:
+    """Compare the current branch's history entries against main's."""
+    history, detect_step, shift_zscore, ConfidenceTest, normal_quantile = (
+        _history_modules()
+    )
+    test = ConfidenceTest(confidence=args.confidence)
+    quantile = normal_quantile(test.confidence)
+    branch = args.branch or history.git_metadata().get("branch", "unknown")
+    if branch == args.main_branch:
+        print(
+            f"compare_perf: current branch IS {args.main_branch!r}; "
+            "nothing to compare (use --branch to name one)"
+        )
+        return 0
+    main_entries = history.load_history(
+        args.history, branch=args.main_branch, smoke=args.smoke
+    )
+    branch_entries = history.load_history(
+        args.history, branch=branch, smoke=args.smoke
+    )
+    if not branch_entries:
+        print(
+            f"compare_perf: no history entries for branch {branch!r} "
+            f"(smoke={args.smoke}); run the benches on this branch first"
+        )
+        return 0
+
+    rows = []
+    labels = sorted(
+        set(history.metric_labels(main_entries))
+        & set(history.metric_labels(branch_entries))
+    )
+    for label in labels:
+        direction = _metric_direction(label)
+        if direction is None:
+            continue
+        main_series = history.metric_series(main_entries, label)
+        branch_series = history.metric_series(branch_entries, label)
+        branch_mean = sum(branch_series) / len(branch_series)
+        if len(main_series) < MIN_HISTORY:
+            rows.append(
+                Row(
+                    label,
+                    None,
+                    branch_mean,
+                    None,
+                    False,
+                    note=f"insufficient {args.main_branch} history "
+                    f"(n={len(main_series)} < {MIN_HISTORY})",
+                )
+            )
+            continue
+        z = shift_zscore(main_series, branch_mean)
+        main_mean = sum(main_series) / len(main_series)
+        delta = (branch_mean - main_mean) / main_mean if main_mean else None
+        flagged = direction * z < -quantile
+        note = (
+            f"z={z:+.2f}, {len(branch_series)} branch run(s) vs "
+            f"{len(main_series)} on {args.main_branch}"
+        )
+        rows.append(Row(label, main_mean, branch_mean, delta, flagged, note=note))
+
+    if not rows:
+        print(
+            "compare_perf: no overlapping gated metrics between "
+            f"{branch!r} and {args.main_branch!r} history entries"
+        )
+        return 0
+    print(
+        f"compare_perf: branch {branch!r} vs {args.main_branch!r} "
+        f"(confidence {test.confidence:g}, smoke={args.smoke})"
+    )
+    _print_rows(rows)
+    for warning in history.machine_mismatch_warnings(
+        main_entries + branch_entries
+    ):
+        print(f"\nWARN: {warning}")
+    if any(row.flagged for row in rows):
+        print(
+            f"\ncompare_perf: branch regresses past the {test.confidence:g} "
+            f"confidence bar of {args.main_branch}'s noise"
+            + (" — strict mode fails" if args.strict else " — advisory only")
+        )
+        if args.strict:
+            return 1
+    return 0
+
+
+def _two_artifacts(args) -> int:
+    """The classic committed-baseline vs fresh-artefact comparison."""
+    baseline = _load_json(args.baseline)
+    fresh = _load_json(args.fresh) if baseline is not None else None
+    if baseline is None or fresh is None:
+        return 0
+    fresh_smoke_sections = [
+        s for s, _, _ in METRICS if fresh.get(s, {}).get("smoke")
+    ]
+    if fresh_smoke_sections:
+        print(
+            "compare_perf: fresh artefact contains smoke-run sections "
+            f"({', '.join(sorted(set(fresh_smoke_sections)))}) — their "
+            "deltas against a full-repetition baseline are noise "
+            "estimates, not trajectory numbers; per-metric flags are "
+            "suppressed for mismatched sections (use --against-history "
+            "to judge smoke runs against smoke-tagged history)"
+        )
+
     rows = list(compare(baseline, fresh, args.threshold))
     if not rows:
         print("compare_perf: no comparable metrics found")
         return 0
-    width = max(len(label) for label, *_ in rows)
-    for label, old, new, delta, flagged in rows:
-        marker = "ADVISORY regression" if flagged else "ok"
-        flagged_any = flagged_any or flagged
-        print(
-            f"{label:<{width}}  {old:>14,.1f} -> {new:>14,.1f}  "
-            f"({delta:+7.1%})  {marker}"
-        )
-    if flagged_any:
+    _print_rows(rows)
+    if any(row.flagged for row in rows):
         print(
             f"\ncompare_perf: at least one metric regressed past "
             f"±{args.threshold:.0%} — advisory only; investigate before "
@@ -123,6 +482,99 @@ def main(argv=None) -> int:
         if args.strict:
             return 1
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "baseline",
+        type=Path,
+        nargs="?",
+        help="committed BENCH_PERF.json (two-artefact mode)",
+    )
+    parser.add_argument(
+        "fresh",
+        type=Path,
+        nargs="?",
+        help="freshly produced artefact (two-artefact mode)",
+    )
+    parser.add_argument(
+        "--against-history",
+        type=Path,
+        dest="fresh_artifact",
+        metavar="FRESH",
+        help="score FRESH against the longitudinal history instead of a "
+        "single baseline artefact",
+    )
+    parser.add_argument(
+        "--branch-vs-main",
+        action="store_true",
+        help="compare the current branch's history entries against main's",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help="history JSONL (default: results/bench_history.jsonl)",
+    )
+    parser.add_argument(
+        "--branch",
+        default=None,
+        help="branch name for --branch-vs-main (default: git HEAD's branch)",
+    )
+    parser.add_argument(
+        "--main-branch",
+        default="main",
+        help="reference branch for --branch-vs-main (default: main)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="for --branch-vs-main: compare smoke-tagged entries instead "
+        "of full runs",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.999,
+        help="confidence level for the history-noise z test and the "
+        "changepoint scan (default 0.999, the rule generator's setting)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="two-artefact advisory regression threshold as a fraction "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any metric regresses past the bar",
+    )
+    args = parser.parse_args(argv)
+
+    if args.fresh_artifact is not None and args.branch_vs_main:
+        parser.error("--against-history and --branch-vs-main are exclusive")
+    if args.fresh_artifact is not None or args.branch_vs_main:
+        if args.baseline is not None or args.fresh is not None:
+            parser.error("history modes take no positional artefacts")
+        if args.history is None:
+            args.history = (
+                Path(__file__).resolve().parent.parent
+                / "results"
+                / "bench_history.jsonl"
+            )
+        if args.fresh_artifact is not None:
+            return _against_history(args)
+        return _branch_vs_main(args)
+
+    if args.baseline is None or args.fresh is None:
+        parser.error(
+            "two-artefact mode needs BASELINE and FRESH "
+            "(or use --against-history / --branch-vs-main)"
+        )
+    return _two_artifacts(args)
 
 
 if __name__ == "__main__":

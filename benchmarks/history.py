@@ -1,0 +1,411 @@
+"""Append-only longitudinal history of benchmark runs.
+
+``BENCH_PERF.json`` is a single point: the last full run on a quiet
+machine.  ``results/bench_history.jsonl`` is the trajectory: every
+``bench_perf`` / ``bench_resilience`` / ``bench_control_plane`` run — and
+any live gateway session exporting through the control plane's
+:class:`~repro.service.control.MetricsExporter` — appends one JSON line
+with its flattened metrics plus the metadata needed to interpret them
+later (commit, branch, machine fingerprint, simulator engine, smoke
+tag).  The file is append-only by design: entries are facts about runs
+that happened, never rewritten, so trend analysis can condition on the
+noise that was actually observed instead of a fixed tolerance band.
+
+Downstream consumers:
+
+* :func:`detect_changepoints` — per-metric step detection over the
+  history via :func:`repro.stats.changepoint.detect_step` (the
+  ``ConfidenceTest``-conditioned scan, not a ±5 % band);
+* ``compare_perf.py --against-history`` — scores a fresh artefact
+  against the history's noise (smoke runs only against smoke-tagged
+  entries, full runs only against full entries);
+* ``compare_perf.py --branch-vs-main`` — compares the current branch's
+  entries against main's on the same machinery.
+
+Schema (one JSON object per line)::
+
+    {
+      "schema": 1,
+      "timestamp": 1754650000.0,        # unix seconds
+      "source": "bench_perf",           # producing harness (or "gateway")
+      "commit": "de7073d...",           # git HEAD, "unknown" outside git
+      "branch": "main",
+      "machine": {"hostname": ..., "platform": ..., "python": ...,
+                  "cpu_count": ...},
+      "engine": "columnar",             # simulator engine in effect
+      "smoke": false,                   # single-rep CI run vs full run
+      "metrics": {"serving_simulator.requests_per_s": 268000.0, ...}
+    }
+
+Loading is tolerant: malformed or truncated lines (a crashed run, a
+merge artefact) are skipped with a warning rather than poisoning the
+whole trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.stats.changepoint import Changepoint, detect_step
+from repro.stats.confidence import ConfidenceTest
+
+__all__ = [
+    "HISTORY_PATH",
+    "SCHEMA_VERSION",
+    "HistoryEntry",
+    "append_entry",
+    "detect_changepoints",
+    "entry_from_metrics",
+    "flatten_metrics",
+    "git_metadata",
+    "load_history",
+    "machine_fingerprint",
+    "machine_mismatch_warnings",
+    "metric_labels",
+    "metric_series",
+    "record_run",
+]
+
+SCHEMA_VERSION = 1
+
+#: The trajectory of record, next to the other committed artefacts.
+HISTORY_PATH = Path(__file__).resolve().parent.parent / "results" / "bench_history.jsonl"
+
+#: Keys that carry run *metadata* inside benchmark payload sections and
+#: must not be flattened into metric values.
+_NON_METRIC_KEYS = frozenset({"smoke"})
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One benchmark (or gateway-export) run in the longitudinal history.
+
+    Attributes:
+        timestamp: Unix seconds the entry was recorded.
+        source: Producing harness (``bench_perf``, ``bench_resilience``,
+            ``bench_control_plane``, ``gateway``, ...).
+        commit: Git HEAD at record time (``"unknown"`` outside a repo).
+        branch: Git branch at record time (``"unknown"`` outside a repo).
+        machine: Machine fingerprint (hostname / platform / python /
+            cpu count) — trend checks warn when a series mixes machines.
+        engine: Simulator engine in effect (``REPRO_SIM_ENGINE`` or the
+            columnar default).
+        smoke: Whether the run was a single-repetition smoke run.
+        metrics: Flattened ``section.metric[.key]`` -> float values.
+        schema: History schema version.
+    """
+
+    timestamp: float
+    source: str
+    commit: str
+    branch: str
+    machine: Dict[str, object]
+    engine: str
+    smoke: bool
+    metrics: Dict[str, float]
+    schema: int = SCHEMA_VERSION
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """The recording machine's identity, as stored in every entry."""
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_metadata(cwd: Optional[Path] = None) -> Dict[str, str]:
+    """Current ``{"commit": ..., "branch": ...}``, tolerant of no-git.
+
+    Args:
+        cwd: Repository directory (defaults to this file's repo).
+    """
+    root = Path(cwd) if cwd is not None else HISTORY_PATH.parent.parent
+    meta = {"commit": "unknown", "branch": "unknown"}
+    for key, args in (
+        ("commit", ("rev-parse", "HEAD")),
+        ("branch", ("rev-parse", "--abbrev-ref", "HEAD")),
+    ):
+        try:
+            out = subprocess.run(
+                ("git", *args),
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if out.returncode == 0 and out.stdout.strip():
+            meta[key] = out.stdout.strip()
+    return meta
+
+
+def flatten_metrics(payload: dict, prefix: str = "") -> Dict[str, float]:
+    """Flatten a ``BENCH_PERF.json``-shaped payload into metric rows.
+
+    Nested dicts become dotted labels (``section.metric.key``); numeric
+    leaves are kept (bools and the ``smoke`` metadata tag are not);
+    strings and other non-numeric leaves (e.g. ``rule_tables`` config
+    ids, digests) are dropped.
+
+    Args:
+        payload: A section payload or a whole artefact.
+        prefix: Label prefix for recursion.
+    """
+    flat: Dict[str, float] = {}
+    for key, value in payload.items():
+        if key in _NON_METRIC_KEYS:
+            continue
+        label = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten_metrics(value, prefix=f"{label}."))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[label] = float(value)
+    return flat
+
+
+def entry_from_metrics(
+    metrics: Dict[str, float],
+    *,
+    source: str,
+    smoke: bool,
+    engine: Optional[str] = None,
+    timestamp: Optional[float] = None,
+    machine: Optional[Dict[str, object]] = None,
+    git: Optional[Dict[str, str]] = None,
+) -> HistoryEntry:
+    """Build a :class:`HistoryEntry` around already-flat metrics.
+
+    This is the seam the gateway export uses: the control plane's
+    ``MetricsExporter.history_record`` produces the flat metrics dict
+    and this function stamps the run metadata, so live sessions and
+    benchmark runs share one schema.
+
+    Args:
+        metrics: Flattened ``label -> value`` metrics.
+        source: Producing harness name.
+        smoke: Smoke-run tag.
+        engine: Simulator engine (defaults to ``REPRO_SIM_ENGINE`` or
+            ``"columnar"``).
+        timestamp: Record time (defaults to now).
+        machine: Machine fingerprint override (defaults to this
+            machine's).
+        git: ``{"commit", "branch"}`` override (defaults to querying
+            git).
+    """
+    git_meta = git if git is not None else git_metadata()
+    return HistoryEntry(
+        timestamp=float(time.time() if timestamp is None else timestamp),
+        source=source,
+        commit=git_meta.get("commit", "unknown"),
+        branch=git_meta.get("branch", "unknown"),
+        machine=machine if machine is not None else machine_fingerprint(),
+        engine=engine
+        if engine is not None
+        else os.environ.get("REPRO_SIM_ENGINE", "columnar"),
+        smoke=bool(smoke),
+        metrics=dict(metrics),
+    )
+
+
+def append_entry(entry: HistoryEntry, path: Path = HISTORY_PATH) -> Path:
+    """Append one entry to the JSONL history (creating it if needed)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
+    return path
+
+
+def record_run(
+    payload: dict,
+    *,
+    source: str,
+    smoke: bool,
+    path: Path = HISTORY_PATH,
+    **metadata,
+) -> HistoryEntry:
+    """Flatten one benchmark payload and append it to the history.
+
+    Args:
+        payload: The section payload (e.g. what ``_merge_output`` just
+            merged) or a whole artefact.
+        source: Producing harness name.
+        smoke: Smoke-run tag.
+        path: History file (the default is the committed trajectory).
+        **metadata: Passed through to :func:`entry_from_metrics`.
+    """
+    entry = entry_from_metrics(
+        flatten_metrics(payload), source=source, smoke=smoke, **metadata
+    )
+    append_entry(entry, path)
+    return entry
+
+
+def load_history(
+    path: Path = HISTORY_PATH,
+    *,
+    smoke: Optional[bool] = None,
+    source: Optional[str] = None,
+    branch: Optional[str] = None,
+) -> List[HistoryEntry]:
+    """Read the history, oldest first, with optional filters.
+
+    Missing files and empty files load as an empty history; malformed
+    lines are skipped with a warning on stderr (append-only files
+    survive crashes mid-line).
+
+    Args:
+        path: History file.
+        smoke: Keep only entries with this smoke tag (``None`` keeps
+            all) — the fix for smoke runs being judged against
+            full-repetition baselines.
+        source: Keep only entries from this harness.
+        branch: Keep only entries recorded on this branch.
+    """
+    if not path.exists():
+        return []
+    entries: List[HistoryEntry] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            raw = json.loads(line)
+            entry = HistoryEntry(
+                timestamp=float(raw["timestamp"]),
+                source=str(raw["source"]),
+                commit=str(raw.get("commit", "unknown")),
+                branch=str(raw.get("branch", "unknown")),
+                machine=dict(raw.get("machine", {})),
+                engine=str(raw.get("engine", "unknown")),
+                smoke=bool(raw.get("smoke", False)),
+                metrics={
+                    str(k): float(v) for k, v in dict(raw["metrics"]).items()
+                },
+                schema=int(raw.get("schema", SCHEMA_VERSION)),
+            )
+        except (ValueError, TypeError, KeyError) as exc:
+            print(
+                f"history: skipping malformed line {lineno} of {path}: {exc}",
+                file=sys.stderr,
+            )
+            continue
+        if smoke is not None and entry.smoke != smoke:
+            continue
+        if source is not None and entry.source != source:
+            continue
+        if branch is not None and entry.branch != branch:
+            continue
+        entries.append(entry)
+    entries.sort(key=lambda e: e.timestamp)
+    return entries
+
+
+def metric_series(
+    entries: Sequence[HistoryEntry], label: str
+) -> List[float]:
+    """One metric's values across the history, oldest first.
+
+    Entries that never recorded the metric (older schema, different
+    harness) are simply absent from the series — a schema addition must
+    not read as a changepoint.
+    """
+    return [e.metrics[label] for e in entries if label in e.metrics]
+
+
+def metric_labels(entries: Sequence[HistoryEntry]) -> List[str]:
+    """Every metric label appearing anywhere in the history, sorted."""
+    labels = set()
+    for entry in entries:
+        labels.update(entry.metrics)
+    return sorted(labels)
+
+
+def machine_mismatch_warnings(
+    entries: Sequence[HistoryEntry],
+    *,
+    current: Optional[Dict[str, object]] = None,
+) -> List[str]:
+    """Human-readable warnings when a history mixes machines.
+
+    Cross-machine timings are not one noise regime: a trend over them
+    conflates hardware with regressions.  The check is advisory — the
+    deterministic simulation metrics survive machine changes — but the
+    warning must be visible.
+
+    Args:
+        entries: The (already filtered) history under analysis.
+        current: Fingerprint of the machine running the analysis; when
+            given, a mismatch against the history is reported too.
+    """
+    warnings: List[str] = []
+    seen: Dict[str, Dict[str, object]] = {}
+    for entry in entries:
+        key = json.dumps(entry.machine, sort_keys=True)
+        seen.setdefault(key, entry.machine)
+    if len(seen) > 1:
+        names = sorted(
+            str(machine.get("hostname", "unknown")) for machine in seen.values()
+        )
+        warnings.append(
+            f"history mixes {len(seen)} machine fingerprints "
+            f"({', '.join(names)}): timing trends conflate hardware with "
+            "regressions; trust only the deterministic simulation metrics"
+        )
+    if current is not None and seen:
+        current_key = json.dumps(dict(current), sort_keys=True)
+        if current_key not in seen:
+            warnings.append(
+                "current machine "
+                f"({current.get('hostname', 'unknown')}) has no entries in "
+                "this history: fresh-run deltas include a hardware change"
+            )
+    return warnings
+
+
+def detect_changepoints(
+    entries: Sequence[HistoryEntry],
+    *,
+    labels: Optional[Iterable[str]] = None,
+    test: Optional[ConfidenceTest] = None,
+    min_segment: int = 5,
+) -> Dict[str, Changepoint]:
+    """Scan every metric series in a history for step changes.
+
+    Args:
+        entries: The (already filtered) history, oldest first.
+        labels: Metric labels to scan (default: every label present).
+        test: Confidence test supplying the significance level
+            (default: the generator's 99.9 % setting).
+        min_segment: Minimum runs on each side of a candidate step.
+
+    Returns:
+        ``label -> Changepoint`` for every metric whose series contains
+        a significant step.  Metrics with too little history simply
+        cannot flag (the detector returns ``None`` below
+        ``2 * min_segment`` observations).
+    """
+    if test is None:
+        test = ConfidenceTest()
+    found: Dict[str, Changepoint] = {}
+    for label in labels if labels is not None else metric_labels(entries):
+        series = metric_series(entries, label)
+        changepoint = detect_step(series, test=test, min_segment=min_segment)
+        if changepoint is not None:
+            found[label] = changepoint
+    return found

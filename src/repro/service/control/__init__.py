@@ -7,7 +7,10 @@ watches the serving and steers it.  Four cooperating parts:
   sliding window over per-request records (windowed p50/p95/p99 with a
   small-N confidence guard, goodput, availability, node-seconds burn,
   per-tier breakdowns), fed through a plain event-hook interface by
-  both the discrete-event engine and the gateway's synchronous path.
+  both the discrete-event engine and the gateway's synchronous path,
+  plus the scrape-able :class:`MetricsExporter` that serializes window
+  snapshots into the longitudinal benchmark-history schema
+  (``results/bench_history.jsonl``).
 * :mod:`repro.service.control.slo` — declarative :class:`SLOSpec`
   targets evaluated continuously into debounced OK / WARN / BREACH
   states with hysteresis, plus :class:`GrayFailureDetector`, which
@@ -57,11 +60,13 @@ from repro.service.control.slo import (
 )
 from repro.service.control.telemetry import (
     MIN_PERCENTILE_SAMPLES,
+    MetricsExporter,
     PercentileEstimate,
     TelemetryHub,
     TierWindow,
     WindowSnapshot,
     guarded_percentile,
+    snapshot_metrics,
 )
 
 __all__ = [
@@ -77,6 +82,7 @@ __all__ = [
     "GrayDetectionSpec",
     "GrayFailureDetector",
     "MIN_PERCENTILE_SAMPLES",
+    "MetricsExporter",
     "PercentileEstimate",
     "PolicyAdaptor",
     "SLOMonitor",
@@ -89,4 +95,5 @@ __all__ = [
     "default_control_spec",
     "degraded_configuration",
     "guarded_percentile",
+    "snapshot_metrics",
 ]

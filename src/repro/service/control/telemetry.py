@@ -40,11 +40,13 @@ import numpy as np
 
 __all__ = [
     "MIN_PERCENTILE_SAMPLES",
+    "MetricsExporter",
     "PercentileEstimate",
     "TelemetryHub",
     "TierWindow",
     "WindowSnapshot",
     "guarded_percentile",
+    "snapshot_metrics",
 ]
 
 #: Below this many samples a windowed percentile is flagged low-confidence.
@@ -440,3 +442,144 @@ class TelemetryHub:
                 if not r.failed and not getattr(r, "shed", False)
             ),
         )
+
+
+# ----------------------------------------------------------------------
+# scrape-able metrics export
+# ----------------------------------------------------------------------
+def _tier_label(tier: float) -> str:
+    """A stable, dot-free label for a tolerance tier (0.05 -> ``0_05``)."""
+    return format(tier, "g").replace("-", "m").replace(".", "_")
+
+
+def snapshot_metrics(snapshot: WindowSnapshot, *, prefix: str = "gateway") -> Dict[str, float]:
+    """Flatten a :class:`WindowSnapshot` into history-schema metric rows.
+
+    The labels use the same dotted ``section.metric[.key]`` convention as
+    the flattened ``BENCH_PERF.json`` sections in
+    ``results/bench_history.jsonl``, so a live serving session exports
+    rows the longitudinal tooling (``benchmarks/history.py``,
+    ``compare_perf.py --against-history``) ingests unchanged.
+
+    ``nan`` aggregates (an empty window's availability, an unanswered
+    tier's mean cost) are omitted rather than exported: a scrape target
+    reports what it measured, not placeholders.  Percentiles carry their
+    sample counts (``.n``) so a consumer can apply the same small-N
+    judgement the SLO monitors do.
+
+    Args:
+        snapshot: The window aggregate to flatten.
+        prefix: Leading label segment (the history "section").
+    """
+    metrics: Dict[str, float] = {
+        f"{prefix}.window_s": snapshot.window_s,
+        f"{prefix}.span_s": snapshot.span_s,
+        f"{prefix}.n": float(snapshot.n),
+        f"{prefix}.n_failed": float(snapshot.n_failed),
+        f"{prefix}.n_shed": float(snapshot.n_shed),
+        f"{prefix}.n_degraded": float(snapshot.n_degraded),
+        f"{prefix}.n_answered": float(snapshot.n_answered),
+        f"{prefix}.goodput_rps": snapshot.goodput_rps,
+        f"{prefix}.node_seconds_per_s": snapshot.node_seconds_per_s,
+    }
+    for name, estimate in (
+        ("p50_latency_s", snapshot.p50_latency),
+        ("p95_latency_s", snapshot.p95_latency),
+        ("p99_latency_s", snapshot.p99_latency),
+    ):
+        if not np.isnan(estimate.value):
+            metrics[f"{prefix}.{name}"] = float(estimate.value)
+        metrics[f"{prefix}.{name}.n"] = float(estimate.n)
+    if not np.isnan(snapshot.availability):
+        metrics[f"{prefix}.availability"] = float(snapshot.availability)
+    if not np.isnan(snapshot.mean_cost):
+        metrics[f"{prefix}.mean_cost"] = float(snapshot.mean_cost)
+    for version, seconds in sorted(snapshot.node_seconds.items()):
+        metrics[f"{prefix}.node_seconds.{version}"] = float(seconds)
+    for tier, window in sorted(snapshot.tiers.items()):
+        base = f"{prefix}.tier.{_tier_label(tier)}"
+        metrics[f"{base}.n"] = float(window.n)
+        metrics[f"{base}.n_failed"] = float(window.n_failed)
+        metrics[f"{base}.n_shed"] = float(window.n_shed)
+        metrics[f"{base}.n_degraded"] = float(window.n_degraded)
+        if not np.isnan(window.p95_latency.value):
+            metrics[f"{base}.p95_latency_s"] = float(window.p95_latency.value)
+        metrics[f"{base}.p95_latency_s.n"] = float(window.p95_latency.n)
+        if not np.isnan(window.mean_cost):
+            metrics[f"{base}.mean_cost"] = float(window.mean_cost)
+    return metrics
+
+
+class MetricsExporter:
+    """Scrape-able view over a :class:`TelemetryHub`.
+
+    The control plane's windowed telemetry already holds everything a
+    metrics endpoint needs; this class is the thin serialization layer
+    on top: :meth:`scrape` returns the flat history-schema dict,
+    :meth:`render` a Prometheus-style text exposition, and
+    :meth:`history_record` the body of a longitudinal history entry —
+    the same shape ``benchmarks/history.py`` appends for benchmark
+    runs, so live gateway sessions and benches feed one trajectory.
+
+    The exporter is a passive consumer: it never subscribes hooks and
+    never mutates the hub beyond the (destructive, monotone-``now``)
+    window eviction every ``snapshot`` performs anyway.
+
+    Args:
+        hub: The telemetry hub to export from.
+        prefix: History "section" the exported labels live under.
+    """
+
+    def __init__(self, hub: TelemetryHub, *, prefix: str = "gateway") -> None:
+        self.hub = hub
+        self.prefix = prefix
+        self._scrapes = 0
+
+    @property
+    def total_scrapes(self) -> int:
+        """Scrapes served over the exporter's lifetime."""
+        return self._scrapes
+
+    def scrape(self, now: float) -> Dict[str, float]:
+        """Snapshot the hub and return flat history-schema metrics.
+
+        Args:
+            now: Scrape time on the producer's clock (must be
+                non-decreasing across scrapes, like ``snapshot``).
+        """
+        self._scrapes += 1
+        return snapshot_metrics(self.hub.snapshot(now), prefix=self.prefix)
+
+    def render(self, now: float) -> str:
+        """The scrape as a Prometheus-style text exposition.
+
+        Labels are sanitised to metric-name charset (dots and dashes
+        become underscores); one ``# TYPE ... gauge`` header per line
+        keeps the output self-describing for scrapers.
+        """
+        lines = []
+        for label, value in sorted(self.scrape(now).items()):
+            name = label.replace(".", "_").replace("-", "_")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {value:g}")
+        return "\n".join(lines) + "\n"
+
+    def history_record(self, now: float, *, smoke: bool = False) -> Dict[str, object]:
+        """The scrape shaped as a longitudinal-history entry body.
+
+        Returns a dict with ``source``/``smoke``/``metrics`` keys;
+        ``benchmarks/history.py``'s ``entry_from_metrics`` stamps the
+        commit/machine/engine metadata and appends it, so a serving
+        session lands in ``results/bench_history.jsonl`` with exactly
+        the schema benchmark runs use.
+
+        Args:
+            now: Scrape time on the producer's clock.
+            smoke: Tag for reduced-fidelity sessions (mirrors the
+                benches' smoke tag so trend checks stay like-for-like).
+        """
+        return {
+            "source": self.prefix,
+            "smoke": bool(smoke),
+            "metrics": self.scrape(now),
+        }

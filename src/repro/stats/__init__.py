@@ -6,8 +6,16 @@ The sub-modules are intentionally small and dependency-light:
 * :mod:`repro.stats.resampling` -- seeded bootstrap and subsampling utilities.
 * :mod:`repro.stats.confidence` -- z-score / normal-quantile confidence tests
   used by the routing-rule generator (paper Fig. 7).
+* :mod:`repro.stats.changepoint` -- step-change detection over benchmark
+  metric histories, judged at the confidence test's level instead of a
+  fixed threshold.
 """
 
+from repro.stats.changepoint import (
+    Changepoint,
+    detect_step,
+    shift_zscore,
+)
 from repro.stats.confidence import (
     ConfidenceTest,
     normal_quantile,
@@ -29,15 +37,18 @@ from repro.stats.resampling import (
 )
 
 __all__ = [
+    "Changepoint",
     "ConfidenceTest",
     "StreamingMoments",
     "Summary",
     "bootstrap_indices",
     "bootstrap_statistic",
+    "detect_step",
     "geometric_mean",
     "kfold_indices",
     "normal_quantile",
     "percentile",
+    "shift_zscore",
     "spread_is_confident",
     "subsample_indices",
     "summarize",

@@ -1,0 +1,253 @@
+"""Step-change detection over benchmark metric histories.
+
+The perf-regression gate used to compare two artefacts with a fixed ±5 %
+band — a threshold that knows nothing about how noisy a metric actually
+is on the machines that measure it.  This module replaces that fixed
+rule with one conditioned on the observed history: a shift counts as a
+changepoint only when it is large relative to the *within-regime* noise
+of the series, judged at the confidence level the repo's
+:class:`~repro.stats.confidence.ConfidenceTest` uses for its bootstrap
+spread test.
+
+Two entry points:
+
+* :func:`detect_step` — scan a whole series for its most significant
+  mean shift (the longitudinal history check: "did this metric's regime
+  change somewhere in the last N runs?").  The scan statistic is the
+  maximum over splits of the segment-mean difference in standard-error
+  units; because a maximum over many candidate splits is *not* normal,
+  its null distribution is calibrated by seeded permutation of the
+  series itself rather than read off a normal quantile — the all-noise
+  false-alarm rate is held at ``1 - test.confidence`` regardless of
+  series length.
+* :func:`shift_zscore` — score one new observation against a baseline
+  sample's noise (the branch-vs-main and fresh-run-vs-history checks;
+  no split selection happens here, so the plain z-score is the right
+  scale and the caller compares it against the test's normal quantile).
+
+Both share the :class:`~repro.stats.confidence.ConfidenceTest`'s
+constant-sample philosophy: a baseline whose spread is indistinguishable
+from float dust is treated as exactly constant, so any genuine departure
+from it is an infinite-z step rather than rounding noise amplified into
+a verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stats.confidence import ConfidenceTest
+
+__all__ = [
+    "Changepoint",
+    "detect_step",
+    "shift_zscore",
+]
+
+#: Relative spread below which a sample is treated as constant (the same
+#: floor :mod:`repro.stats.confidence` applies to bootstrap trial
+#: columns, for the same reason).
+_REL_NOISE_FLOOR = 1e-12
+
+#: Permutations used to calibrate the null distribution of the scan
+#: statistic.  2 000 resolves the default 99.9 % level (~2 expected
+#: exceedances under the null) while keeping the scan sub-millisecond
+#: on history lengths that fit a JSONL file.
+_DEFAULT_PERMUTATIONS = 2000
+
+
+@dataclass(frozen=True)
+class Changepoint:
+    """The most significant mean shift found in a metric series.
+
+    Attributes:
+        index: First index of the new regime — ``values[:index]`` is the
+            "before" segment, ``values[index:]`` the "after" segment.
+        before_mean: Mean of the before segment.
+        after_mean: Mean of the after segment.
+        shift: ``after_mean - before_mean``.
+        relative_shift: ``shift / |before_mean|`` (``inf`` when the
+            before mean is zero and the shift is not).
+        zscore: The shift in units of its standard error under the
+            pooled within-segment noise (``inf`` for a shift between
+            internally-constant segments).
+    """
+
+    index: int
+    before_mean: float
+    after_mean: float
+    shift: float
+    relative_shift: float
+    zscore: float
+
+
+def _split_zscores(rows: np.ndarray, min_segment: int) -> np.ndarray:
+    """Segment-mean-shift z-scores for every admissible split of every row.
+
+    Args:
+        rows: ``(B, n)`` series matrix (one scan per row).
+        min_segment: Minimum observations on each side of a split.
+
+    Returns:
+        ``(B, S)`` z-scores, one column per split ``t`` in
+        ``[min_segment, n - min_segment]``; ``rows[:, :t]`` is the
+        "before" segment.  Splits whose pooled within-segment noise sits
+        below the relative floor get ``±inf`` for a real shift and
+        ``0.0`` for none.
+    """
+    b, n = rows.shape
+    splits = np.arange(min_segment, n - min_segment + 1)
+    cs = np.cumsum(rows, axis=1)
+    css = np.cumsum(rows * rows, axis=1)
+    n1 = splits.astype(float)
+    n2 = float(n) - n1
+    s1 = cs[:, splits - 1]
+    s2 = cs[:, -1:] - s1
+    m1 = s1 / n1
+    m2 = s2 / n2
+    ss1 = np.maximum(css[:, splits - 1] - n1 * m1 * m1, 0.0)
+    ss2 = np.maximum((css[:, -1:] - css[:, splits - 1]) - n2 * m2 * m2, 0.0)
+    pooled = np.sqrt((ss1 + ss2) / float(n - 2))
+    sem = pooled * np.sqrt(1.0 / n1 + 1.0 / n2)
+    shift = m2 - m1
+    scale = float(np.abs(rows).max())
+    floor = _REL_NOISE_FLOOR * max(scale, 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = shift / sem
+    degenerate = pooled <= _REL_NOISE_FLOOR * scale
+    z = np.where(degenerate & (shift > floor), np.inf, z)
+    z = np.where(degenerate & (shift < -floor), -np.inf, z)
+    z = np.where(degenerate & (np.abs(shift) <= floor), 0.0, z)
+    return z
+
+
+def shift_zscore(baseline: Sequence[float], value: float) -> float:
+    """How many noise standard deviations ``value`` sits from a baseline.
+
+    The baseline's own spread (``ddof=1``) is the noise model; an
+    effectively-constant baseline (spread below the relative noise
+    floor) makes any departing value an infinite-z shift and any
+    matching value a zero-z one.
+
+    Args:
+        baseline: Historical observations of the metric (at least 2).
+        value: The new observation to score.
+
+    Raises:
+        ValueError: If the baseline has fewer than two observations.
+    """
+    arr = np.asarray(baseline, dtype=float)
+    if arr.size < 2:
+        raise ValueError(
+            f"shift_zscore needs at least 2 baseline observations, got {arr.size}"
+        )
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1))
+    scale = max(float(np.abs(arr).max()), abs(value))
+    if std <= _REL_NOISE_FLOOR * scale:
+        if abs(value - mean) <= _REL_NOISE_FLOOR * max(scale, 1.0):
+            return 0.0
+        return math.inf if value > mean else -math.inf
+    return (value - mean) / std
+
+
+def detect_step(
+    values: Sequence[float],
+    *,
+    test: Optional[ConfidenceTest] = None,
+    min_segment: int = 5,
+    n_permutations: int = _DEFAULT_PERMUTATIONS,
+    seed: int = 0,
+) -> Optional[Changepoint]:
+    """Find the most significant mean shift in a series, if any.
+
+    Every admissible split point is scored — the difference of segment
+    means in units of its standard error under the pooled
+    within-segment noise — and the split with the largest ``|z|`` is
+    the candidate changepoint.  Because that maximum is taken over many
+    correlated candidates, its null distribution is calibrated
+    empirically: the same scan runs over ``n_permutations`` seeded
+    shuffles of the series (exchangeable under "no change"), and the
+    candidate is flagged only when its ``|z|`` exceeds the
+    ``test.confidence`` quantile of the permuted maxima.  The detector
+    therefore conditions on the series' *own* measured noise — a noisy
+    metric needs a bigger step to trip it than a quiet one — instead of
+    any fixed relative threshold.  A step between two internally
+    *constant* segments (the deterministic-metric regime: control-plane
+    and resilience numbers are simulation outputs, not timings) is
+    flagged directly, mirroring the confidence test's constant-sample
+    rule.
+
+    Args:
+        values: The metric series, oldest first.
+        test: The confidence test supplying the significance level
+            (default: a fresh :class:`ConfidenceTest`, i.e. the
+            generator's 99.9 % setting).
+        min_segment: Minimum observations on each side of a split.
+            Splits leaving a shorter segment are not considered, so a
+            series shorter than ``2 * min_segment`` returns ``None``.
+        n_permutations: Null-calibration shuffles (deterministic given
+            ``seed``).
+        seed: Seed for the permutation RNG, fixed by default so CI runs
+            are reproducible.
+
+    Returns:
+        The winning :class:`Changepoint`, or ``None`` when no split
+        clears the confidence bar (including all short series).
+    """
+    if test is None:
+        test = ConfidenceTest()
+    if min_segment < 2:
+        raise ValueError("min_segment must be at least 2")
+    if n_permutations < 1:
+        raise ValueError("n_permutations must be at least 1")
+    arr = np.asarray(values, dtype=float)
+    n = arr.size
+    if n < 2 * min_segment:
+        return None
+
+    observed = _split_zscores(arr[None, :], min_segment)[0]
+    magnitudes = np.abs(observed)
+    best_index = int(np.argmax(magnitudes))
+    best_z = float(observed[best_index])
+    if not abs(best_z) > 0.0:
+        return None
+
+    if not math.isinf(best_z):
+        # Calibrate the max-over-splits null empirically: under "no
+        # change" the series is exchangeable, so seeded shuffles of it
+        # ARE the null.
+        rng = np.random.default_rng(seed)
+        shuffled = rng.permuted(
+            np.broadcast_to(arr, (n_permutations, n)).copy(), axis=1
+        )
+        null_max = np.abs(_split_zscores(shuffled, min_segment)).max(axis=1)
+        threshold = float(np.quantile(null_max, test.confidence))
+        if not abs(best_z) > threshold:
+            return None
+    # else: an infinite z means both segments are internally constant —
+    # the deterministic-metric regime.  Like the ConfidenceTest's
+    # constant-sample rule, the shift has been observed directly and
+    # needs no noise calibration.
+
+    split = best_index + min_segment
+    before, after = arr[:split], arr[split:]
+    before_mean = float(before.mean())
+    after_mean = float(after.mean())
+    shift = after_mean - before_mean
+    if before_mean != 0.0:
+        relative = shift / abs(before_mean)
+    else:
+        relative = 0.0 if shift == 0.0 else math.copysign(math.inf, shift)
+    return Changepoint(
+        index=split,
+        before_mean=before_mean,
+        after_mean=after_mean,
+        shift=shift,
+        relative_shift=relative,
+        zscore=best_z,
+    )

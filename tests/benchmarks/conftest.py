@@ -1,0 +1,17 @@
+"""Make the benchmark harness modules importable from the test suite.
+
+The ``benchmarks/`` directory is not a package (its files are run
+directly and by path), so tests of its modules — ``compare_perf.py``,
+``history.py`` — import them by putting the directory on ``sys.path``,
+exactly as pytest does when running the benchmark files themselves.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+
+if str(BENCHMARKS_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS_DIR))

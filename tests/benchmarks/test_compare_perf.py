@@ -1,0 +1,411 @@
+"""Regression tests for compare_perf's three fixed bugs + the history modes.
+
+Each test class pins one of the historical failure modes:
+
+* ``TestShapeMismatch`` — ``compare`` used to crash with ``TypeError``
+  (``set(old) & set(new)`` on a float) when a metric was a dict in one
+  artefact and a scalar in the other;
+* ``TestZeroBaseline`` — ``compare`` used to silently skip any metric
+  whose baseline was falsy (``or not old`` / ``if not old[key]``), so
+  zero baselines like ``resilience.time_to_recover_s`` could regress
+  without ever being compared;
+* ``TestSmokeVsFull`` — smoke artefacts were compared line-by-line
+  against the full-repetition baseline, producing false ADVISORY flags
+  in every fast-tier CI log.
+"""
+
+import json
+
+import pytest
+
+import compare_perf
+import history as history_mod
+from compare_perf import Row, compare, main
+
+
+def rows_by_label(baseline, fresh, threshold=0.05):
+    return {row.label: row for row in compare(baseline, fresh, threshold)}
+
+
+class TestShapeMismatch:
+    """Dict-vs-scalar metric shapes: explicit schema row, never a crash."""
+
+    def test_scalar_to_dict_does_not_crash(self):
+        baseline = {"serving_simulator": {"requests_per_s": 100.0}}
+        fresh = {"serving_simulator": {"requests_per_s": {"columnar": 120.0}}}
+        rows = list(compare(baseline, fresh, 0.05))  # used to raise TypeError
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.label == "serving_simulator.requests_per_s"
+        assert "schema changed" in row.note
+        assert not row.flagged
+        assert row.old is None and row.new is None and row.delta is None
+
+    def test_dict_to_scalar_does_not_crash(self):
+        baseline = {"rule_generator": {"trials_per_s": {"vectorized": 100.0}}}
+        fresh = {"rule_generator": {"trials_per_s": 120.0}}
+        rows = list(compare(baseline, fresh, 0.05))
+        assert len(rows) == 1
+        assert "schema changed" in rows[0].note
+        assert "per-key dict" in rows[0].note
+
+    def test_key_level_type_mismatch_is_a_schema_row(self):
+        baseline = {"control_plane": {"goodput_rps": {"spike": 5.0}}}
+        fresh = {"control_plane": {"goodput_rps": {"spike": {"static": 5.0}}}}
+        rows = rows_by_label(baseline, fresh)
+        row = rows["control_plane.goodput_rps.spike"]
+        assert "schema changed" in row.note and not row.flagged
+
+    def test_added_and_dropped_keys_are_reported(self):
+        baseline = {"control_plane": {"goodput_rps": {"spike": 5.0, "old": 1.0}}}
+        fresh = {"control_plane": {"goodput_rps": {"spike": 5.0, "new": 2.0}}}
+        rows = rows_by_label(baseline, fresh)
+        assert "key dropped" in rows["control_plane.goodput_rps.old"].note
+        assert "key new" in rows["control_plane.goodput_rps.new"].note
+        assert rows["control_plane.goodput_rps.spike"].delta == 0.0
+
+    def test_matching_dict_shapes_still_compare_per_key(self):
+        baseline = {"control_plane": {"p95_latency_s": {"spike": 1.0}}}
+        fresh = {"control_plane": {"p95_latency_s": {"spike": 2.0}}}
+        row = rows_by_label(baseline, fresh)["control_plane.p95_latency_s.spike"]
+        assert row.delta == pytest.approx(1.0)
+        assert row.flagged  # smaller-is-better metric doubled
+
+
+class TestZeroBaseline:
+    """Zero baselines are compared, not skipped; only the division is guarded."""
+
+    def test_zero_baseline_regression_is_reported_and_flagged(self):
+        # The silent-skip bug's exact shape: time_to_recover_s == 0.0
+        # (perfect recovery) regressing to a nonzero tail.
+        baseline = {"resilience": {"time_to_recover_s": 0.0}}
+        fresh = {"resilience": {"time_to_recover_s": 2.0}}
+        rows = rows_by_label(baseline, fresh)
+        row = rows["resilience.time_to_recover_s"]  # used to be absent
+        assert row.flagged
+        assert row.delta is None
+        assert "zero baseline" in row.note
+
+    def test_zero_baseline_improvement_is_reported_not_flagged(self):
+        baseline = {"resilience": {"goodput_retention": 0.0}}
+        fresh = {"resilience": {"goodput_retention": 0.9}}
+        row = rows_by_label(baseline, fresh)["resilience.goodput_retention"]
+        assert not row.flagged
+        assert "zero baseline" in row.note
+
+    def test_zero_to_zero_is_an_ok_row(self):
+        baseline = {"resilience": {"retry_amplification": 0.0}}
+        fresh = {"resilience": {"retry_amplification": 0.0}}
+        row = rows_by_label(baseline, fresh)["resilience.retry_amplification"]
+        assert row.delta == 0.0 and not row.flagged and not row.note
+
+    def test_falsy_dict_key_baseline_is_compared(self):
+        # The dict branch had the same bug (`if not old[key]: continue`).
+        baseline = {"resilience": {"time_to_recover_s": {"cascade-static": 0.0}}}
+        fresh = {"resilience": {"time_to_recover_s": {"cascade-static": 3.0}}}
+        rows = rows_by_label(baseline, fresh)
+        row = rows["resilience.time_to_recover_s.cascade-static"]
+        assert row.flagged and "zero baseline" in row.note
+
+    def test_nonzero_metrics_unaffected(self):
+        baseline = {"serving_simulator": {"requests_per_s": 100.0}}
+        fresh = {"serving_simulator": {"requests_per_s": 90.0}}
+        row = rows_by_label(baseline, fresh)["serving_simulator.requests_per_s"]
+        assert row.delta == pytest.approx(-0.1)
+        assert row.flagged
+
+
+class TestSmokeVsFull:
+    """Smoke artefacts are not flagged against full-repetition baselines."""
+
+    def test_smoke_section_flags_are_suppressed(self):
+        baseline = {
+            "serving_simulator": {"requests_per_s": 100.0, "smoke": False}
+        }
+        fresh = {"serving_simulator": {"requests_per_s": 50.0, "smoke": True}}
+        row = rows_by_label(baseline, fresh)["serving_simulator.requests_per_s"]
+        assert not row.flagged  # used to be a false ADVISORY in CI logs
+        assert "smoke" in row.note and "suppressed" in row.note
+        assert row.delta == pytest.approx(-0.5)  # the delta is still shown
+
+    def test_matching_smoke_tags_keep_the_gate(self):
+        baseline = {
+            "serving_simulator": {"requests_per_s": 100.0, "smoke": True}
+        }
+        fresh = {"serving_simulator": {"requests_per_s": 50.0, "smoke": True}}
+        row = rows_by_label(baseline, fresh)["serving_simulator.requests_per_s"]
+        assert row.flagged
+
+    def test_full_vs_full_keeps_the_gate(self):
+        baseline = {"serving_simulator": {"requests_per_s": 100.0, "smoke": False}}
+        fresh = {"serving_simulator": {"requests_per_s": 50.0, "smoke": False}}
+        assert rows_by_label(baseline, fresh)[
+            "serving_simulator.requests_per_s"
+        ].flagged
+
+    def test_suppression_is_per_section(self):
+        baseline = {
+            "serving_simulator": {"requests_per_s": 100.0, "smoke": False},
+            "resilience": {"goodput_retention": 1.0, "smoke": False},
+        }
+        fresh = {
+            # Timing section ran in smoke mode...
+            "serving_simulator": {"requests_per_s": 50.0, "smoke": True},
+            # ...but the deterministic section is still full-fidelity.
+            "resilience": {"goodput_retention": 0.5, "smoke": False},
+        }
+        rows = rows_by_label(baseline, fresh)
+        assert not rows["serving_simulator.requests_per_s"].flagged
+        assert rows["resilience.goodput_retention"].flagged
+
+    def test_zero_baseline_suppressed_under_smoke_mismatch(self):
+        baseline = {"resilience": {"time_to_recover_s": 0.0, "smoke": False}}
+        fresh = {"resilience": {"time_to_recover_s": 2.0, "smoke": True}}
+        row = rows_by_label(baseline, fresh)["resilience.time_to_recover_s"]
+        assert not row.flagged
+        assert "suppressed" in row.note
+
+
+class TestMainTwoArtifacts:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_strict_fails_on_real_regression(self, tmp_path):
+        baseline = self.write(
+            tmp_path, "base.json", {"policy_evaluation": {"rows_per_s": 100.0}}
+        )
+        fresh = self.write(
+            tmp_path, "fresh.json", {"policy_evaluation": {"rows_per_s": 50.0}}
+        )
+        assert main([str(baseline), str(fresh)]) == 0  # advisory by default
+        assert main([str(baseline), str(fresh), "--strict"]) == 1
+
+    def test_strict_passes_when_smoke_suppressed(self, tmp_path, capsys):
+        baseline = self.write(
+            tmp_path,
+            "base.json",
+            {"policy_evaluation": {"rows_per_s": 100.0, "smoke": False}},
+        )
+        fresh = self.write(
+            tmp_path,
+            "fresh.json",
+            {"policy_evaluation": {"rows_per_s": 50.0, "smoke": True}},
+        )
+        assert main([str(baseline), str(fresh), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+
+    def test_missing_artifact_is_a_noop(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        fresh = self.write(tmp_path, "fresh.json", {})
+        assert main([str(missing), str(fresh), "--strict"]) == 0
+
+    def test_schema_change_does_not_crash_end_to_end(self, tmp_path, capsys):
+        baseline = self.write(
+            tmp_path,
+            "base.json",
+            {"serving_simulator": {"requests_per_s": 100.0}},
+        )
+        fresh = self.write(
+            tmp_path,
+            "fresh.json",
+            {"serving_simulator": {"requests_per_s": {"columnar": 1.0}}},
+        )
+        assert main([str(baseline), str(fresh), "--strict"]) == 0
+        assert "schema changed" in capsys.readouterr().out
+
+
+def seeded_history(tmp_path, values, *, label="policy_evaluation.rows_per_s", smoke=False, branch="main"):
+    """Write a history file with one entry per value, fixed metadata."""
+    path = tmp_path / "bench_history.jsonl"
+    for i, value in enumerate(values):
+        entry = history_mod.entry_from_metrics(
+            {label: float(value)},
+            source="bench_perf",
+            smoke=smoke,
+            engine="columnar",
+            timestamp=1_000.0 + i,
+            machine={"hostname": "quiet-box", "platform": "linux", "python": "3", "cpu_count": 8},
+            git={"commit": f"c{i}", "branch": branch},
+        )
+        history_mod.append_entry(entry, path)
+    return path
+
+
+class TestAgainstHistory:
+    def fresh_artifact(self, tmp_path, value, *, smoke=False):
+        path = tmp_path / "fresh.json"
+        path.write_text(
+            json.dumps({"policy_evaluation": {"rows_per_s": value, "smoke": smoke}})
+        )
+        return path
+
+    def test_regression_past_history_noise_is_flagged(self, tmp_path, capsys):
+        hist = seeded_history(tmp_path, [100.0 + 0.1 * i for i in range(10)])
+        fresh = self.fresh_artifact(tmp_path, 50.0)
+        code = main(
+            ["--against-history", str(fresh), "--history", str(hist), "--strict"]
+        )
+        assert code == 1
+        assert "ADVISORY regression" in capsys.readouterr().out
+
+    def test_value_inside_history_noise_passes(self, tmp_path):
+        hist = seeded_history(tmp_path, [100.0, 101.0, 99.0, 100.5, 99.5, 100.2])
+        fresh = self.fresh_artifact(tmp_path, 100.3)
+        assert (
+            main(
+                ["--against-history", str(fresh), "--history", str(hist), "--strict"]
+            )
+            == 0
+        )
+
+    def test_improvement_is_not_flagged(self, tmp_path):
+        hist = seeded_history(tmp_path, [100.0, 101.0, 99.0, 100.5, 99.5])
+        fresh = self.fresh_artifact(tmp_path, 500.0)  # faster is better
+        assert (
+            main(
+                ["--against-history", str(fresh), "--history", str(hist), "--strict"]
+            )
+            == 0
+        )
+
+    def test_smoke_artifact_judged_against_smoke_entries_only(self, tmp_path, capsys):
+        # Full history says ~100; smoke history says ~40.  A smoke run
+        # at 42 is healthy FOR A SMOKE RUN and must not be flagged
+        # against the full numbers.
+        seeded_history(tmp_path, [100.0, 101.0, 99.0, 100.5, 99.5], smoke=False)
+        hist = seeded_history(
+            tmp_path, [40.0, 41.0, 39.0, 40.5, 39.5], smoke=True
+        )
+        fresh = self.fresh_artifact(tmp_path, 42.0, smoke=True)
+        assert (
+            main(
+                ["--against-history", str(fresh), "--history", str(hist), "--strict"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "smoke" not in out or "insufficient" not in out
+
+    def test_insufficient_history_records_without_judging(self, tmp_path, capsys):
+        hist = seeded_history(tmp_path, [100.0, 99.0])  # below MIN_HISTORY
+        fresh = self.fresh_artifact(tmp_path, 10.0)  # would be a huge regression
+        assert (
+            main(
+                ["--against-history", str(fresh), "--history", str(hist), "--strict"]
+            )
+            == 0
+        )
+        assert "insufficient" in capsys.readouterr().out
+
+    def test_empty_history_is_graceful(self, tmp_path, capsys):
+        hist = tmp_path / "bench_history.jsonl"  # does not exist
+        fresh = self.fresh_artifact(tmp_path, 100.0)
+        assert (
+            main(
+                ["--against-history", str(fresh), "--history", str(hist), "--strict"]
+            )
+            == 0
+        )
+        assert "insufficient" in capsys.readouterr().out
+
+    def test_changepoint_in_history_is_reported(self, tmp_path, capsys):
+        values = [100.0, 100.2, 99.8, 100.1, 99.9, 100.0] + [50.0] * 6
+        hist = seeded_history(tmp_path, values)
+        fresh = self.fresh_artifact(tmp_path, 50.1)
+        main(["--against-history", str(fresh), "--history", str(hist)])
+        assert "changepoint" in capsys.readouterr().out
+
+    def test_machine_mismatch_warning_is_printed(self, tmp_path, capsys):
+        hist = seeded_history(
+            tmp_path, [100.0, 101.0, 99.0, 100.5, 99.5, 100.1]
+        )
+        fresh = self.fresh_artifact(tmp_path, 100.0)
+        main(["--against-history", str(fresh), "--history", str(hist)])
+        out = capsys.readouterr().out
+        # The seeded entries name a fake machine, so the current host
+        # cannot appear in the history.
+        assert "WARN" in out and "no entries in this history" in out
+
+
+class TestBranchVsMain:
+    def test_branch_regression_is_flagged(self, tmp_path, capsys):
+        hist = seeded_history(
+            tmp_path, [100.0, 101.0, 99.0, 100.5, 99.5, 100.2], branch="main"
+        )
+        seeded_history(tmp_path, [60.0, 61.0], branch="feature")
+        code = main(
+            [
+                "--branch-vs-main",
+                "--history",
+                str(hist),
+                "--branch",
+                "feature",
+                "--strict",
+            ]
+        )
+        assert code == 1
+        assert "ADVISORY regression" in capsys.readouterr().out
+
+    def test_matching_branch_passes(self, tmp_path):
+        hist = seeded_history(
+            tmp_path, [100.0, 101.0, 99.0, 100.5, 99.5, 100.2], branch="main"
+        )
+        seeded_history(tmp_path, [100.1, 99.9], branch="feature")
+        assert (
+            main(
+                [
+                    "--branch-vs-main",
+                    "--history",
+                    str(hist),
+                    "--branch",
+                    "feature",
+                    "--strict",
+                ]
+            )
+            == 0
+        )
+
+    def test_no_branch_entries_is_graceful(self, tmp_path, capsys):
+        hist = seeded_history(tmp_path, [100.0] * 6, branch="main")
+        assert (
+            main(
+                [
+                    "--branch-vs-main",
+                    "--history",
+                    str(hist),
+                    "--branch",
+                    "ghost",
+                    "--strict",
+                ]
+            )
+            == 0
+        )
+        assert "no history entries" in capsys.readouterr().out
+
+
+class TestCLIGuards:
+    def test_history_modes_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--against-history", "x.json", "--branch-vs-main"])
+
+    def test_history_modes_reject_positionals(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["a.json", "b.json", "--branch-vs-main"])
+
+    def test_two_artifact_mode_needs_both_paths(self):
+        with pytest.raises(SystemExit):
+            main(["only-one.json"])
+
+    def test_metric_direction_lookup(self):
+        assert compare_perf._metric_direction("policy_evaluation.rows_per_s") == 1
+        assert (
+            compare_perf._metric_direction("control_plane.p95_latency_s.spike")
+            == -1
+        )
+        assert compare_perf._metric_direction("unknown.metric") is None
+
+    def test_row_is_exported(self):
+        assert Row("x", 1.0, 2.0, 1.0, False).label == "x"

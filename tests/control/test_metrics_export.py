@@ -1,0 +1,148 @@
+"""Metrics export: WindowSnapshot -> history-schema rows -> scrape text."""
+
+import math
+
+from repro.service.control import (
+    MetricsExporter,
+    TelemetryHub,
+    snapshot_metrics,
+)
+from repro.service.simulation import RequestRecord
+
+
+def record(
+    request_id,
+    finished_s,
+    *,
+    response_time_s=0.1,
+    tier=0.0,
+    failed=False,
+    shed=False,
+    degraded=False,
+    cost=1e-5,
+):
+    return RequestRecord(
+        request_id=request_id,
+        payload=request_id,
+        tier=tier,
+        arrival_s=max(0.0, finished_s - response_time_s),
+        finished_s=finished_s,
+        response_time_s=response_time_s,
+        queue_wait_s=0.0,
+        versions_used=() if (failed or shed) else ("fast",),
+        escalated=False,
+        invocation_cost=0.0 if (failed or shed) else cost,
+        node_seconds={} if (failed or shed) else {"fast": response_time_s},
+        failed=failed,
+        shed=shed,
+        degraded=degraded,
+    )
+
+
+def loaded_hub(n=30, window_s=10.0):
+    hub = TelemetryHub(window_s=window_s)
+    for i in range(n):
+        hub.publish(record(f"r{i}", finished_s=0.1 * (i + 1), tier=0.05))
+    return hub
+
+
+class TestSnapshotMetrics:
+    def test_headline_rows_match_the_snapshot(self):
+        hub = loaded_hub()
+        snapshot = hub.snapshot(3.0)
+        metrics = snapshot_metrics(snapshot)
+        assert metrics["gateway.n"] == float(snapshot.n)
+        assert metrics["gateway.goodput_rps"] == snapshot.goodput_rps
+        assert metrics["gateway.availability"] == snapshot.availability
+        assert metrics["gateway.p95_latency_s"] == snapshot.p95_latency.value
+        assert metrics["gateway.p95_latency_s.n"] == float(snapshot.p95_latency.n)
+        assert metrics["gateway.node_seconds.fast"] == snapshot.node_seconds["fast"]
+        assert metrics["gateway.node_seconds_per_s"] == snapshot.node_seconds_per_s
+
+    def test_labels_follow_the_history_schema(self):
+        metrics = snapshot_metrics(loaded_hub().snapshot(3.0))
+        # Dotted section.metric[.key] labels, exactly what
+        # benchmarks/history.py flattens BENCH_PERF.json sections into.
+        assert all(label.startswith("gateway.") for label in metrics)
+        assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_tier_breakdowns_use_stable_dotfree_keys(self):
+        metrics = snapshot_metrics(loaded_hub().snapshot(3.0))
+        assert metrics["gateway.tier.0_05.n"] == 30.0
+        assert "gateway.tier.0_05.p95_latency_s" in metrics
+
+    def test_nan_aggregates_are_omitted_not_exported(self):
+        hub = TelemetryHub(window_s=10.0)
+        metrics = snapshot_metrics(hub.snapshot(1.0))
+        # Empty window: availability/mean_cost/percentile values are nan
+        # and must be absent; counts are still reported.
+        assert "gateway.availability" not in metrics
+        assert "gateway.mean_cost" not in metrics
+        assert "gateway.p95_latency_s" not in metrics
+        assert metrics["gateway.p95_latency_s.n"] == 0.0
+        assert metrics["gateway.n"] == 0.0
+        assert not any(
+            isinstance(v, float) and math.isnan(v) for v in metrics.values()
+        )
+
+    def test_shed_and_failed_counts_are_exported(self):
+        hub = TelemetryHub(window_s=10.0)
+        hub.publish(record("a", 0.1))
+        hub.publish(record("b", 0.2, failed=True))
+        hub.publish(record("c", 0.3, shed=True))
+        metrics = snapshot_metrics(hub.snapshot(1.0))
+        assert metrics["gateway.n"] == 3.0
+        assert metrics["gateway.n_failed"] == 1.0
+        assert metrics["gateway.n_shed"] == 1.0
+        assert metrics["gateway.n_answered"] == 1.0
+
+    def test_custom_prefix(self):
+        metrics = snapshot_metrics(
+            loaded_hub().snapshot(3.0), prefix="region.us-east"
+        )
+        assert "region.us-east.goodput_rps" in metrics
+
+
+class TestMetricsExporter:
+    def test_scrape_equals_direct_snapshot_metrics(self):
+        hub = loaded_hub()
+        exporter = MetricsExporter(hub, prefix="gateway")
+        scraped = exporter.scrape(3.0)
+        # A second scrape at the same instant sees the same window.
+        assert scraped == snapshot_metrics(hub.snapshot(3.0))
+        assert exporter.total_scrapes == 1
+
+    def test_render_is_prometheus_style(self):
+        exporter = MetricsExporter(loaded_hub())
+        text = exporter.render(3.0)
+        lines = text.strip().splitlines()
+        assert len(lines) % 2 == 0
+        for type_line, value_line in zip(lines[::2], lines[1::2]):
+            assert type_line.startswith("# TYPE ") and type_line.endswith(" gauge")
+            name, value = value_line.split(" ")
+            assert type_line.split()[2] == name
+            float(value)  # parses
+            # Prometheus metric-name charset: no dots or dashes.
+            assert "." not in name and "-" not in name
+
+    def test_history_record_matches_the_bench_schema(self):
+        exporter = MetricsExporter(loaded_hub())
+        body = exporter.history_record(3.0, smoke=True)
+        assert body["source"] == "gateway"
+        assert body["smoke"] is True
+        assert body["metrics"] == snapshot_metrics(loaded_hub().snapshot(3.0))
+
+    def test_scrapes_advance_the_window(self):
+        hub = loaded_hub(n=5, window_s=1.0)
+        exporter = MetricsExporter(hub)
+        assert exporter.scrape(0.5)["gateway.n"] == 5.0
+        # One window later everything has been evicted.
+        assert exporter.scrape(5.0)["gateway.n"] == 0.0
+        assert exporter.total_scrapes == 2
+
+    def test_exporter_is_passive(self):
+        hub = loaded_hub()
+        MetricsExporter(hub)
+        # Construction subscribes nothing and publishes nothing.
+        assert hub.total_published == 30
+        assert not hub._hooks
