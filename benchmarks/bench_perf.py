@@ -391,6 +391,7 @@ _SECTION_SOURCES = {
     "serving_simulator": "bench_perf",
     "control_plane": "bench_control_plane",
     "resilience": "bench_resilience",
+    "regions": "bench_regions",
 }
 
 

@@ -29,6 +29,12 @@ and per node-hour.
   discrete-event simulator).  Imported lazily — ``import
   repro.service.gateway`` — because it builds on both this package and
   :mod:`repro.core`.
+* :mod:`repro.service.regions` -- multi-region sharded serving: per-region
+  engine shards under spawned RNG streams, locality-first routing with
+  cross-region failover, a deterministic boundary-event merge, and
+  optional worker-process parallelism with bit-identical digests.
+  Imported lazily — ``import repro.service.regions`` — it layers over
+  simulation, control and the load balancer.
 """
 
 from repro.service.cluster import ClusterDeployment, NodePool

@@ -70,14 +70,23 @@ class ControlLogEntry:
         kind: ``"slo"`` (state transition), ``"gray-detected"`` /
             ``"gray-cleared"`` (per-node divergence), ``"swap"``,
             ``"swap-declined"``, ``"anchor-restore"``, ``"rollback"``,
-            or one of the ``"refit-*"`` non-swap outcomes (``nochange``
-            / ``noimprove`` / ``rejected`` / ``skipped``).
+            one of the ``"refit-*"`` non-swap outcomes (``nochange``
+            / ``noimprove`` / ``rejected`` / ``skipped``), or the
+            region-scoped kinds (``"region-slo"`` / ``"region-decision"``)
+            emitted by :mod:`repro.service.regions`.
         detail: Human-readable context (deterministic for a fixed run).
+        region: Region the action names, for multi-region runs whose
+            control decisions must say *which region* to shed or adapt;
+            ``None`` for single-cluster planes.  The digest renders the
+            region inside ``detail`` at the emit site, so this field
+            stays out of :meth:`LoadTestReport.digest` and pre-region
+            control logs digest unchanged.
     """
 
     time_s: float
     kind: str
     detail: str
+    region: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -139,6 +139,55 @@ class SimulatedBackend:
             engine=engine,
         )
 
+    @classmethod
+    def from_region(
+        cls,
+        multi_spec,
+        region,
+        measurements,
+        *,
+        check_invariants: bool = False,
+        selection_policy=None,
+        engine: Optional[str] = None,
+    ) -> "SimulatedBackend":
+        """Build a backend for one region of a multi-region spec.
+
+        Adopts the named region's engine-facing scenario fields under
+        its *spawned* shard seed (see
+        :meth:`~repro.service.regions.spec.MultiRegionSpec.equivalent_scenario`),
+        so a gateway session against this backend is bit-identical to
+        the region's shard in a full
+        :func:`~repro.service.regions.runner.run_multi_region` — the
+        multi-region spec becomes the single source of truth for both
+        the sharded simulation and interactive gateway sessions against
+        any one of its regions.
+
+        Args:
+            multi_spec: A
+                :class:`~repro.service.regions.spec.MultiRegionSpec`.
+            region: Region name or declaration index.
+            measurements: Measurement table the region's pools and
+                faults reference.
+            check_invariants: Verify conservation laws at drain time.
+            selection_policy: Within-pool node selection override.
+            engine: Execution engine override.
+        """
+        if isinstance(region, str):
+            names = list(multi_spec.region_names)
+            if region not in names:
+                raise KeyError(f"unknown region {region!r}")
+            index = names.index(region)
+        else:
+            index = int(region)
+        scenario = multi_spec.equivalent_scenario(index)
+        return cls.from_scenario(
+            scenario,
+            measurements,
+            check_invariants=check_invariants,
+            selection_policy=selection_policy,
+            engine=engine,
+        )
+
     # ------------------------------------------------------------------
     # gateway protocol
     # ------------------------------------------------------------------

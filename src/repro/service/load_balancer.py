@@ -22,7 +22,16 @@ traffic never routes onto a corpse.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.service.node import NodeCompletion, ServiceNode, VersionResult
 
@@ -263,6 +272,26 @@ class LoadBalancer:
     def live_pool_size(self, version: str) -> int:
         """Number of live (routable) nodes serving ``version``."""
         return sum(1 for node in self._require_pool(version) if node.alive)
+
+    def advertised_capacity_rps(
+        self, service_time_s: Mapping[str, float]
+    ) -> float:
+        """Aggregate request rate the live pools can absorb, in req/s.
+
+        A health-check-level capacity estimate: each live node of a
+        version absorbs ``1 / service_time`` requests per second, summed
+        across every version with a known positive service time.  The
+        region router uses this to decide when a region is *saturated*
+        enough to spill traffic to a peer — it is an advertised number
+        (no queueing, no batching amortization), deliberately the same
+        coarse view a production health endpoint would export.
+        """
+        total = 0.0
+        for version in self.versions:
+            seconds = service_time_s.get(version)
+            if seconds is not None and seconds > 0.0:
+                total += self.live_pool_size(version) / seconds
+        return total
 
     def submit(
         self, version: str, request_id: str, payload: Any, *, now: float = 0.0

@@ -1,0 +1,152 @@
+"""Execute a multi-region run: plan serially, shard anywhere, merge.
+
+:func:`run_multi_region` is the subsystem's entry point.  The three
+phases make parallel determinism structural rather than lucky:
+
+1. **Plan** (serial): :class:`~repro.service.regions.router.RegionRouter`
+   draws every region's arrivals from its spawned seed stream and fixes
+   every failover decision and boundary event up front.
+2. **Shard** (serial or ``parallel=N`` worker processes): each region
+   executes :func:`~repro.service.regions.shard.run_shard` on a fully
+   self-contained task.  Workers share no state and the engine choice
+   is resolved *before* fan-out, so a worker's environment cannot
+   change behaviour.
+3. **Merge** (serial): results key back to declaration order and fold
+   with the planned boundary stream into a
+   :class:`~repro.service.regions.report.MultiRegionReport`, whose
+   digest is therefore identical however phase 2 executed.
+
+The RNG spawn-key discipline is audited on every run:
+:func:`multi_region_streams` enumerates each shard's derived streams
+(engine, faults, storm buckets, admission) and
+:func:`~repro.service.simulation.seeds.audit_seed_streams` raises if
+any two consumers would share a key.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.measurement import MeasurementSet
+from repro.service.regions.report import MultiRegionReport, merge_shards
+from repro.service.regions.router import RegionRouter, RouterPlan, ShardPlan
+from repro.service.regions.shard import ShardResult, ShardTask, run_shard
+from repro.service.regions.spec import MultiRegionSpec
+from repro.service.simulation.seeds import (
+    audit_seed_streams,
+    streams_for_spec,
+)
+
+__all__ = [
+    "build_shard_tasks",
+    "multi_region_streams",
+    "run_multi_region",
+]
+
+_ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+
+def multi_region_streams(spec: MultiRegionSpec) -> Dict[str, Tuple[int, ...]]:
+    """Every RNG stream a multi-region run derives, as ``name -> key``.
+
+    The root seed itself is reserved (spawning only), and each shard's
+    family re-derives engine/fault/storm/admission streams from its
+    spawned 64-bit seed — all enumerated here so the audit can prove
+    pairwise disjointness.
+    """
+    streams: Dict[str, Tuple[int, ...]] = {"root": (spec.seed,)}
+    for i, region in enumerate(spec.regions):
+        shard_scenario = replace(region.scenario, seed=spec.shard_seed(i))
+        streams.update(
+            streams_for_spec(shard_scenario, prefix=f"{region.name}/")
+        )
+    return streams
+
+
+def build_shard_tasks(
+    plan: RouterPlan,
+    measurements: MeasurementSet,
+    *,
+    engine: Optional[str] = None,
+    check_invariants: bool = False,
+    keep_reports: bool = False,
+) -> List[ShardTask]:
+    """Self-contained worker tasks for every shard of a plan.
+
+    The engine is resolved here — explicit argument, else the
+    ``REPRO_SIM_ENGINE`` environment of the *parent*, else the
+    simulator default — and pinned into each task.
+    """
+    resolved = engine if engine is not None else os.environ.get(_ENGINE_ENV)
+    tasks: List[ShardTask] = []
+    for shard in plan.shards:
+        tasks.append(
+            ShardTask(
+                region=shard.region,
+                index=shard.index,
+                scenario=replace(
+                    shard.region.scenario, seed=shard.shard_seed
+                ),
+                measurements=measurements,
+                submissions=tuple(shard.submissions),
+                offered_rate=shard.offered_rate,
+                n_assigned=shard.n_assigned,
+                n_kept=shard.n_kept,
+                n_outgoing=shard.n_outgoing,
+                n_denied=shard.n_denied,
+                engine=resolved,
+                check_invariants=check_invariants,
+                keep_report=keep_reports,
+            )
+        )
+    return tasks
+
+
+def run_multi_region(
+    spec: MultiRegionSpec,
+    measurements: MeasurementSet,
+    *,
+    parallel: Optional[int] = None,
+    engine: Optional[str] = None,
+    check_invariants: bool = False,
+    keep_reports: bool = False,
+) -> MultiRegionReport:
+    """Run a multi-region spec end to end.
+
+    Args:
+        spec: The multi-region load test.
+        measurements: Shared measurement table every region's replay
+            pools draw service times from.
+        parallel: Worker-process count for the shard phase; ``None`` or
+            ``1`` runs shards serially in-process.  The merged report
+            (and its digest) is identical either way.
+        engine: Per-shard engine override, forwarded to every
+            :class:`~repro.service.simulation.engine.ServingSimulator`.
+        check_invariants: Enable each shard engine's conservation
+            checker (the multi-region conservation identities are
+            always verified at merge time).
+        keep_reports: Retain each shard's full
+            :class:`~repro.service.simulation.report.LoadTestReport`
+            on its result (serial-friendly; costs pickling when
+            combined with ``parallel``).
+    """
+    audit_seed_streams(multi_region_streams(spec))
+    plan = RegionRouter(spec, measurements).plan()
+    tasks = build_shard_tasks(
+        plan,
+        measurements,
+        engine=engine,
+        check_invariants=check_invariants,
+        keep_reports=keep_reports,
+    )
+    results: List[ShardResult]
+    if parallel is not None and parallel > 1 and len(tasks) > 1:
+        workers = min(parallel, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            results = list(executor.map(run_shard, tasks))
+    else:
+        results = [run_shard(task) for task in tasks]
+    return merge_shards(plan, results)

@@ -1,0 +1,182 @@
+"""Canonical multi-region scenarios, golden-pinned like their
+single-cluster siblings.
+
+Three compositions over the shared toy measurement table
+(:func:`~repro.service.simulation.scenarios.scenario_measurements`),
+each isolating one multi-region behaviour:
+
+``tri-steady``
+    Three healthy regions under steady Poisson load at different
+    rates.  Pure locality: no failover triggers, every shard
+    columnar-eligible — the sharding-only baseline whose 1-region
+    slice anchors the plain-scenario equivalence tests.
+``regional-outage``
+    A two-region pair where the smaller region's only fast node dies
+    for ten virtual seconds; its traffic fails over across a
+    high-latency link and returns home after recovery.
+``partitioned-brownout``
+    A three-region mix where one region's advertised capacity is far
+    below its offered rate (steady spillover), a
+    :class:`~repro.service.simulation.faults.RegionPartition` severs
+    its preferred failover link mid-run (spill re-routes to the second
+    choice), and region SLOs watch the brownout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.service.control.slo import SLOSpec
+from repro.service.regions.spec import MultiRegionSpec, RegionSpec
+from repro.service.simulation.arrivals import PoissonArrivals
+from repro.service.simulation.faults import (
+    NodeCrash,
+    RegionPartition,
+    RetryPolicy,
+)
+from repro.service.simulation.scenarios import (
+    ScenarioSpec,
+    _tiered_configuration,
+)
+
+__all__ = ["region_scenarios"]
+
+
+def _region_scenario(name: str, region: str, **overrides) -> ScenarioSpec:
+    """A region's embedded scenario with the canonical tier mix."""
+    defaults = dict(
+        name=f"{name}-{region}",
+        arrivals=PoissonArrivals(3.0),
+        n_requests=100,
+        pools={"fast": 2, "slow": 2},
+        configuration=_tiered_configuration(),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def region_scenarios() -> Dict[str, MultiRegionSpec]:
+    """The canonical multi-region scenarios, keyed by name."""
+    retry = RetryPolicy(max_attempts=3, backoff_s=0.05)
+    return {
+        "tri-steady": MultiRegionSpec(
+            name="tri-steady",
+            regions=(
+                RegionSpec(
+                    name="us-east",
+                    scenario=_region_scenario(
+                        "tri-steady",
+                        "us-east",
+                        arrivals=PoissonArrivals(3.0),
+                        n_requests=120,
+                    ),
+                ),
+                RegionSpec(
+                    name="eu-west",
+                    scenario=_region_scenario(
+                        "tri-steady",
+                        "eu-west",
+                        arrivals=PoissonArrivals(2.5),
+                        n_requests=100,
+                    ),
+                ),
+                RegionSpec(
+                    name="ap-south",
+                    scenario=_region_scenario(
+                        "tri-steady",
+                        "ap-south",
+                        arrivals=PoissonArrivals(2.0),
+                        n_requests=80,
+                    ),
+                ),
+            ),
+            seed=31,
+        ),
+        "regional-outage": MultiRegionSpec(
+            name="regional-outage",
+            regions=(
+                RegionSpec(
+                    name="us-east",
+                    scenario=_region_scenario(
+                        "regional-outage",
+                        "us-east",
+                        arrivals=PoissonArrivals(4.0),
+                        n_requests=120,
+                        pools={"fast": 3, "slow": 2},
+                    ),
+                ),
+                RegionSpec(
+                    name="eu-west",
+                    scenario=_region_scenario(
+                        "regional-outage",
+                        "eu-west",
+                        arrivals=PoissonArrivals(4.0),
+                        n_requests=120,
+                        pools={"fast": 1, "slow": 1},
+                        retry=retry,
+                        faults=(
+                            NodeCrash(
+                                at_s=5.0,
+                                version="fast",
+                                node_index=0,
+                                recover_at_s=15.0,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            link_latency_s=0.08,
+            seed=32,
+        ),
+        "partitioned-brownout": MultiRegionSpec(
+            name="partitioned-brownout",
+            regions=(
+                RegionSpec(
+                    name="us-east",
+                    scenario=_region_scenario(
+                        "partitioned-brownout",
+                        "us-east",
+                        arrivals=PoissonArrivals(3.0),
+                        n_requests=100,
+                    ),
+                ),
+                RegionSpec(
+                    name="eu-west",
+                    scenario=_region_scenario(
+                        "partitioned-brownout",
+                        "eu-west",
+                        arrivals=PoissonArrivals(3.0),
+                        n_requests=100,
+                    ),
+                ),
+                RegionSpec(
+                    name="ap-south",
+                    scenario=_region_scenario(
+                        "partitioned-brownout",
+                        "ap-south",
+                        arrivals=PoissonArrivals(6.0),
+                        n_requests=150,
+                        pools={"fast": 1, "slow": 1},
+                    ),
+                    capacity_rps=3.0,
+                    saturation_window_s=1.0,
+                    failover=("us-east", "eu-west"),
+                    slos=(
+                        SLOSpec(name="ap-p95", max_p95_latency_s=0.5),
+                        SLOSpec(name="ap-avail", min_availability=0.9),
+                    ),
+                ),
+            ),
+            partitions=(
+                RegionPartition(
+                    region="ap-south",
+                    peer="us-east",
+                    start_s=8.0,
+                    end_s=20.0,
+                ),
+            ),
+            link_latency_s=0.05,
+            link_latencies={("ap-south", "eu-west"): 0.12},
+            seed=33,
+        ),
+    }

@@ -30,6 +30,10 @@ of nodes, and what happens when that pool degrades:
 * :mod:`repro.service.simulation.report` -- per-request records and
   p50/p95/p99 aggregates, availability/goodput/retry counters, and the
   deterministic report digest the golden-trace tests pin.
+* :mod:`repro.service.simulation.seeds` -- the RNG spawn-key registry
+  and the seed-stream audit that proves every derived generator
+  (engine, faults, storm buckets, admission, region shards) is
+  disjoint.
 """
 
 from repro.service.simulation.arrivals import (
@@ -56,6 +60,7 @@ from repro.service.simulation.faults import (
     GrayFailure,
     NodeCrash,
     NodeSlowdown,
+    RegionPartition,
     RetryPolicy,
     RetryStorm,
     ThunderingHerd,
@@ -86,6 +91,12 @@ from repro.service.simulation.scenarios import (
     run_scenario,
     scenario_measurements,
 )
+from repro.service.simulation.seeds import (
+    SeedStreamCollision,
+    audit_seed_streams,
+    spawn_region_seed,
+    streams_for_spec,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -109,11 +120,13 @@ __all__ = [
     "NodeSlowdown",
     "PoissonArrivals",
     "RecordColumns",
+    "RegionPartition",
     "RequestRecord",
     "RetryPolicy",
     "RetryStorm",
     "ScalingEvent",
     "ScenarioSpec",
+    "SeedStreamCollision",
     "ServingSimulator",
     "SpikeArrivals",
     "ThunderingHerd",
@@ -121,6 +134,7 @@ __all__ = [
     "TraceArrivals",
     "TransientFaults",
     "affected_versions",
+    "audit_seed_streams",
     "build_replay_cluster",
     "canonical_scenarios",
     "chaos_scenarios",
@@ -129,4 +143,6 @@ __all__ = [
     "replay_pools",
     "run_scenario",
     "scenario_measurements",
+    "spawn_region_seed",
+    "streams_for_spec",
 ]

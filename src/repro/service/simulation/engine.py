@@ -647,6 +647,7 @@ class ServingSimulator:
                     reason = str(exc)
                 else:
                     self.engine_used = "columnar"
+                    report.engine_used = "columnar"
                     self._drained = True
                     self._remaining = 0
                     self._submissions = []
@@ -742,6 +743,8 @@ class ServingSimulator:
             if self._control is not None
             else [],
         )
+        report.engine_used = self.engine_used
+        report.fallback_reason = self.fallback_reason
         if self._check is not None:
             self._check.verify(report, self.cluster, self._retry)
         return report

@@ -41,6 +41,13 @@ must degrade through *gracefully* rather than merely survive:
   requests that would have arrived inside it are held and released as one
   synchronized surge when the window ends (see
   :class:`~repro.service.simulation.arrivals.ThunderingHerdArrivals`).
+* :class:`RegionPartition` — a severed inter-region failover link: for a
+  window, traffic in one region cannot spill over to a peer (or to any
+  peer).  Unlike the rest of the vocabulary this is a *topology* fault:
+  it is consumed by the region router's failover plan
+  (:mod:`repro.service.regions`), never by a single engine shard, so it
+  belongs in ``MultiRegionSpec.partitions`` rather than a scenario's
+  fault schedule.
 
 All fault types are frozen dataclasses so a
 :class:`~repro.service.simulation.scenarios.ScenarioSpec` composed of them
@@ -63,6 +70,7 @@ __all__ = [
     "GrayFailure",
     "NodeCrash",
     "NodeSlowdown",
+    "RegionPartition",
     "RetryPolicy",
     "RetryStorm",
     "ThunderingHerd",
@@ -413,6 +421,62 @@ class ThunderingHerd:
             raise ValueError("spread_s must be non-negative")
 
 
+@dataclass(frozen=True)
+class RegionPartition:
+    """A severed inter-region failover link for a window.
+
+    While the partition is open, the region router's failover plan may
+    not spill ``region``'s traffic to ``peer`` (or to *any* peer when
+    ``peer`` is ``None``); with ``bidirectional`` (the default) the
+    reverse link is severed too.  Requests that needed the link stay in
+    their home region and take whatever fate its pools offer — the
+    boundary-event stream records the denial.
+
+    This is a topology fault consumed by
+    :class:`~repro.service.regions.RegionRouter`, not by an engine
+    shard: placing one in a :class:`ScenarioSpec` fault schedule is an
+    error (see :func:`affected_versions`).
+
+    Attributes:
+        region: Region whose outbound failover link is severed.
+        peer: The peer region cut off, or ``None`` for all peers.
+        start_s: Virtual time the partition opens.
+        end_s: Virtual time the link heals.
+        bidirectional: Also sever the reverse (``peer`` -> ``region``)
+            link.  With ``peer=None`` this makes the region fully
+            isolated: no outbound spillover from it *and* no inbound
+            spillover onto it; ``bidirectional=False`` with ``peer=None``
+            only blocks its outbound links.
+    """
+
+    region: str
+    peer: Optional[str] = None
+    start_s: float = 0.0
+    end_s: float = float("inf")
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.region:
+            raise ValueError("a region partition needs a region name")
+        if self.peer == self.region:
+            raise ValueError("a region cannot be partitioned from itself")
+        _require_timestamp("start_s", self.start_s)
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must lie after start_s")
+
+    def severs(self, src: str, dst: str, at_s: float) -> bool:
+        """Whether the ``src -> dst`` link is down at virtual time ``at_s``."""
+        if not self.start_s <= at_s < self.end_s:
+            return False
+        if self.region == src and self.peer in (None, dst):
+            return True
+        return bool(
+            self.bidirectional
+            and self.region == dst
+            and self.peer in (None, src)
+        )
+
+
 #: Any schedulable fault.
 FaultEvent = Union[
     NodeCrash,
@@ -439,6 +503,11 @@ def affected_versions(fault: FaultEvent) -> Tuple[str, ...]:
         return (fault.version,) if fault.version is not None else ()
     if isinstance(fault, ThunderingHerd):
         return ()
+    if isinstance(fault, RegionPartition):
+        raise ValueError(
+            "RegionPartition severs inter-region links; it belongs in "
+            "MultiRegionSpec.partitions, not in an engine fault schedule"
+        )
     return (fault.version,)
 
 

@@ -118,6 +118,12 @@ class LoadTestReport:
         fault_log: Faults the engine applied (empty for a healthy run).
         control_log: Control-plane actions — SLO transitions, policy
             swaps, rollbacks (empty for an open-loop run).
+        engine_used: Which engine produced the records ("columnar" or
+            "legacy"), when the serving simulator stamped it.
+        fallback_reason: Why a columnar-requested run fell back to the
+            legacy loop (``None`` when no fallback happened).  Like
+            ``engine_used`` this describes *how* the run executed, not
+            *what* it produced, so neither field enters the digest.
     """
 
     records: List[RequestRecord]
@@ -126,6 +132,8 @@ class LoadTestReport:
     offered_rate: Optional[float] = None
     fault_log: List[FaultLogEntry] = field(default_factory=list)
     control_log: List[object] = field(default_factory=list)
+    engine_used: Optional[str] = None
+    fallback_reason: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.records:
@@ -347,6 +355,8 @@ class LoadTestReport:
         report.offered_rate = offered_rate
         report.fault_log = list(fault_log) if fault_log else []
         report.control_log = list(control_log) if control_log else []
+        report.engine_used = None
+        report.fallback_reason = None
         ok = ~(columns.failed | columns.shed)
         report._latencies = np.asarray(
             columns.response_time_s[ok], dtype=float

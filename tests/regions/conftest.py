@@ -1,0 +1,21 @@
+"""Engine-matrix activation + shared fixtures for the regions suite.
+
+Multi-region runs resolve their per-shard engine from the same
+``REPRO_SIM_ENGINE`` override the root ``sim_engine`` fixture sets, so
+every test here executes under legacy in the fast tier and both
+engines in the full tier — shards included.
+"""
+
+import pytest
+
+from repro.service.simulation.scenarios import scenario_measurements
+
+
+@pytest.fixture(autouse=True)
+def _sim_engine_matrix(sim_engine):
+    return sim_engine
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return scenario_measurements()

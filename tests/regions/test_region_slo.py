@@ -1,0 +1,156 @@
+"""Region-aware control surfaces: SLO replay, decisions, engine fallbacks,
+the empty-shard edge and the gateway's multi-region entry point."""
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.service.gateway import SimulatedBackend, TierGateway
+from repro.service.regions import (
+    MultiRegionSpec,
+    RegionSpec,
+    region_scenarios,
+    run_multi_region,
+)
+from repro.service.simulation import (
+    NodeCrash,
+    PoissonArrivals,
+    ScenarioSpec,
+)
+from repro.service.simulation.scenarios import _tiered_configuration
+
+
+def _scenario(name, **overrides):
+    defaults = dict(
+        name=name,
+        arrivals=PoissonArrivals(4.0),
+        n_requests=50,
+        pools={"fast": 1, "slow": 1},
+        configuration=_tiered_configuration(),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def brownout(toy):
+    return run_multi_region(
+        region_scenarios()["partitioned-brownout"], toy
+    )
+
+
+class TestRegionSLOReplay:
+    def test_entries_name_the_region(self, brownout):
+        entries = brownout.shard("ap-south").slo_log
+        assert entries, "the brownout must trip its region SLOs"
+        for entry in entries:
+            assert entry.region == "ap-south"
+            assert entry.kind in ("region-slo", "region-decision")
+            assert "[ap-south]" in entry.detail
+        assert all(not s.slo_log for s in brownout.shards
+                   if s.region != "ap-south")
+
+    def test_breach_emits_a_region_decision(self, brownout):
+        decisions = [
+            e
+            for e in brownout.shard("ap-south").slo_log
+            if e.kind == "region-decision"
+        ]
+        assert decisions, "a BREACH must produce an actionable advisory"
+        for decision in decisions:
+            assert " shed ap-south: " in decision.detail or (
+                " adapt ap-south: " in decision.detail
+            )
+
+    def test_slo_entries_enter_the_digest(self, toy):
+        spec = region_scenarios()["partitioned-brownout"]
+        muted_regions = tuple(
+            dataclasses.replace(r, slos=()) if r.name == "ap-south" else r
+            for r in spec.regions
+        )
+        muted = dataclasses.replace(spec, regions=muted_regions)
+        loud = run_multi_region(spec, toy)
+        quiet = run_multi_region(muted, toy)
+        # Identical routing and shard behaviour; only the SLO replay
+        # differs — and the digest must see it.
+        assert [s.digest for s in loud.shards] == [
+            s.digest for s in quiet.shards
+        ]
+        assert loud.digest() != quiet.digest()
+        assert quiet.summary()["n_region_slo_events"] == 0.0
+
+
+class TestEngineFallbackSurface:
+    def test_faulted_region_reports_its_fallback(self, toy):
+        report = run_multi_region(
+            region_scenarios()["regional-outage"], toy, engine="columnar"
+        )
+        fallbacks = report.engine_fallbacks()
+        assert set(fallbacks) == {"eu-west"}
+        assert "NodeCrash" in fallbacks["eu-west"]
+        assert report.shard("us-east").engine_used == "columnar"
+        assert report.shard("eu-west").engine_used == "legacy"
+        assert report.summary()["n_engine_fallbacks"] == 1.0
+
+    def test_legacy_runs_report_no_fallback(self, toy):
+        report = run_multi_region(
+            region_scenarios()["tri-steady"], toy, engine="legacy"
+        )
+        assert report.engine_fallbacks() == {}
+        assert all(s.engine_used == "legacy" for s in report.shards)
+
+
+class TestEmptyShard:
+    def test_fully_failed_over_region_yields_empty_shard(self, toy):
+        dead = NodeCrash(at_s=0.0, version="fast", node_index=0)
+        spec = MultiRegionSpec(
+            name="evacuated",
+            regions=(
+                RegionSpec(
+                    name="us", scenario=_scenario("s-us", faults=(dead,))
+                ),
+                RegionSpec(name="eu", scenario=_scenario("s-eu")),
+            ),
+            seed=41,
+        )
+        report = run_multi_region(spec, toy)
+        us = report.shard("us")
+        assert us.n_submitted == 0
+        assert us.n_outgoing == us.n_assigned
+        expected = hashlib.sha256(b"empty-shard:us").hexdigest()
+        assert us.digest == expected
+        assert us.summary == {}
+        report.verify_conservation()
+        eu = report.shard("eu")
+        assert eu.n_incoming == us.n_outgoing
+        assert report.digest() == run_multi_region(spec, toy).digest()
+
+
+class TestGatewayFromRegion:
+    def test_gateway_session_matches_region_shard(self, toy):
+        spec = region_scenarios()["tri-steady"]
+        report = run_multi_region(spec, toy)
+        region = spec.region("eu-west")
+        backend = SimulatedBackend.from_region(
+            spec, "eu-west", toy, check_invariants=True
+        )
+        gateway = TierGateway(
+            backend, configuration=region.scenario.configuration
+        )
+        gateway_report = gateway.run_load(
+            region.scenario.arrivals,
+            region.scenario.n_requests,
+            tolerance=region.scenario.tolerance,
+            objective=region.scenario.objective,
+            payload_ids=toy.request_ids,
+        )
+        assert gateway_report.digest() == report.shard("eu-west").digest
+
+    def test_region_resolves_by_name_or_index(self, toy):
+        spec = region_scenarios()["tri-steady"]
+        by_name = SimulatedBackend.from_region(spec, "ap-south", toy)
+        by_index = SimulatedBackend.from_region(spec, 2, toy)
+        assert by_name._seed == by_index._seed == spec.shard_seed(2)
+        with pytest.raises(KeyError, match="unknown region"):
+            SimulatedBackend.from_region(spec, "mars", toy)

@@ -1,0 +1,242 @@
+"""Plan-phase behaviour: health timelines, saturation, partitions, order."""
+
+import numpy as np
+import pytest
+
+from repro.service.regions import (
+    MultiRegionSpec,
+    RegionRouter,
+    RegionSpec,
+)
+from repro.service.simulation import (
+    NodeCrash,
+    PoissonArrivals,
+    RegionPartition,
+    ScenarioSpec,
+)
+from repro.service.simulation.scenarios import _tiered_configuration
+
+
+def _scenario(name, **overrides):
+    defaults = dict(
+        name=name,
+        arrivals=PoissonArrivals(5.0),
+        n_requests=60,
+        pools={"fast": 1, "slow": 1},
+        configuration=_tiered_configuration(),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def _region(name, **overrides):
+    scenario_overrides = overrides.pop("scenario_overrides", {})
+    defaults = dict(
+        name=name, scenario=_scenario(f"s-{name}", **scenario_overrides)
+    )
+    defaults.update(overrides)
+    return RegionSpec(**defaults)
+
+
+CRASH = NodeCrash(at_s=2.0, version="fast", node_index=0, recover_at_s=6.0)
+
+
+def test_healthy_regions_keep_everything_local(toy):
+    spec = MultiRegionSpec(
+        name="steady", regions=(_region("us"), _region("eu")), seed=5
+    )
+    plan = RegionRouter(spec, toy).plan()
+    assert plan.boundary_events == ()
+    for shard in plan.shards:
+        assert shard.n_outgoing == shard.n_denied == shard.n_incoming == 0
+        assert shard.n_kept == shard.n_assigned == len(shard.submissions)
+        assert [s.request_id for s in shard.submissions] == [
+            f"load_{j:06d}" for j in range(shard.n_assigned)
+        ]
+        assert all(s.origin == shard.region.name for s in shard.submissions)
+        assert all(s.extra_latency_s == 0.0 for s in shard.submissions)
+
+
+def test_dead_pool_window_fails_over(toy):
+    spec = MultiRegionSpec(
+        name="outage",
+        regions=(_region("us", scenario_overrides={"faults": (CRASH,)}),
+                 _region("eu")),
+        link_latency_s=0.1,
+        seed=5,
+    )
+    plan = RegionRouter(spec, toy).plan()
+    us, eu = plan.shards
+    failovers = [e for e in plan.boundary_events if e.kind == "failover"]
+    assert failovers, "the crash window should have spilled traffic"
+    assert us.n_outgoing == len(failovers) == eu.n_incoming
+    assert us.n_kept + us.n_outgoing == us.n_assigned
+    for event in failovers:
+        assert event.region == "us"
+        assert event.target == "eu"
+        assert 2.0 <= event.time_s < 6.0
+        assert event.detail.endswith("|down")
+    incoming = [s for s in eu.submissions if s.origin == "us"]
+    assert len(incoming) == eu.n_incoming
+    for sub in incoming:
+        assert sub.request_id.startswith("us:load_")
+        assert sub.extra_latency_s == pytest.approx(0.2)
+    # Locals first, then incoming sorted by arrival time.
+    arrivals = [s.at_time for s in eu.submissions if s.origin == "us"]
+    assert arrivals == sorted(arrivals)
+
+
+def test_saturation_trigger_spills_over_capacity(toy):
+    hot = _region(
+        "hot",
+        capacity_rps=2.0,
+        saturation_window_s=1.0,
+        scenario_overrides={
+            "arrivals": PoissonArrivals(8.0), "n_requests": 80
+        },
+    )
+    spec = MultiRegionSpec(
+        name="brownout", regions=(hot, _region("cold")), seed=9
+    )
+    plan = RegionRouter(spec, toy).plan()
+    hot_shard = plan.shards[0]
+    assert hot_shard.n_outgoing > 0
+    saturated = [
+        e for e in plan.boundary_events
+        if e.kind == "failover" and e.detail.endswith("|saturated")
+    ]
+    assert len(saturated) == hot_shard.n_outgoing
+    # At ~8 rps against a 2 rps advertised capacity most arrivals spill,
+    # but the trailing window always admits up to its limit locally.
+    assert hot_shard.n_kept > 0
+
+
+def test_no_capacity_means_no_saturation(toy):
+    spec = MultiRegionSpec(
+        name="steady",
+        regions=(
+            _region(
+                "hot",
+                scenario_overrides={
+                    "arrivals": PoissonArrivals(50.0), "n_requests": 100
+                },
+            ),
+            _region("cold"),
+        ),
+        seed=9,
+    )
+    plan = RegionRouter(spec, toy).plan()
+    assert plan.shards[0].n_outgoing == 0
+
+
+def test_partition_denies_failover_and_logs_edges(toy):
+    spec = MultiRegionSpec(
+        name="partitioned",
+        regions=(_region("us", scenario_overrides={"faults": (CRASH,)}),
+                 _region("eu")),
+        partitions=(
+            RegionPartition(region="us", peer="eu", start_s=0.0, end_s=10.0),
+        ),
+        seed=5,
+    )
+    plan = RegionRouter(spec, toy).plan()
+    us = plan.shards[0]
+    kinds = {e.kind for e in plan.boundary_events}
+    assert "failover" not in kinds
+    assert "partition" in kinds and "partition-heal" in kinds
+    denials = [
+        e for e in plan.boundary_events if e.kind == "failover-denied"
+    ]
+    assert us.n_denied == len(denials) > 0
+    # Denied requests stay home: kept covers the full assigned stream.
+    assert us.n_kept == us.n_assigned
+    assert us.n_outgoing == 0
+    for event in denials:
+        assert event.detail.endswith("|down|no-target")
+
+
+def test_failover_skips_partitioned_link_to_second_choice(toy):
+    spec = MultiRegionSpec(
+        name="reroute",
+        regions=(
+            _region(
+                "us",
+                failover=("eu", "ap"),
+                scenario_overrides={"faults": (CRASH,)},
+            ),
+            _region("eu"),
+            _region("ap"),
+        ),
+        partitions=(
+            RegionPartition(region="us", peer="eu", start_s=0.0, end_s=10.0),
+        ),
+        seed=5,
+    )
+    plan = RegionRouter(spec, toy).plan()
+    failovers = [e for e in plan.boundary_events if e.kind == "failover"]
+    assert failovers
+    assert all(e.target == "ap" for e in failovers)
+
+
+def test_failover_skips_dead_target(toy):
+    spec = MultiRegionSpec(
+        name="both-down",
+        regions=(
+            _region("us", scenario_overrides={"faults": (CRASH,)}),
+            _region("eu", scenario_overrides={"faults": (CRASH,)}),
+            _region("ap"),
+        ),
+        seed=5,
+    )
+    plan = RegionRouter(spec, toy).plan()
+    failovers = [e for e in plan.boundary_events if e.kind == "failover"]
+    assert failovers
+    assert all(e.target == "ap" for e in failovers)
+
+
+def test_boundary_events_totally_ordered(toy):
+    spec = MultiRegionSpec(
+        name="ordered",
+        regions=(
+            _region("us", scenario_overrides={"faults": (CRASH,)}),
+            _region(
+                "eu",
+                capacity_rps=2.0,
+                scenario_overrides={
+                    "arrivals": PoissonArrivals(8.0), "n_requests": 80
+                },
+            ),
+            _region("ap"),
+        ),
+        partitions=(
+            RegionPartition(region="eu", peer="ap", start_s=3.0, end_s=7.0),
+        ),
+        seed=11,
+    )
+    plan = RegionRouter(spec, toy).plan()
+    index_of = {name: i for i, name in enumerate(spec.region_names)}
+    keys = [
+        (e.time_s, index_of[e.region], e.seq) for e in plan.boundary_events
+    ]
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)
+    # Per-region seq counters are dense from zero in time order.
+    for name in spec.region_names:
+        seqs = [e.seq for e in plan.boundary_events if e.region == name]
+        assert sorted(seqs) == list(range(len(seqs)))
+
+
+def test_plan_draws_match_engine_run_order(toy):
+    """The plan's (times, picks) replicate run()'s exact draw sequence."""
+    spec = MultiRegionSpec(name="one", regions=(_region("us"),), seed=13)
+    plan = RegionRouter(spec, toy).plan()
+    shard = plan.shards[0]
+    rng = np.random.default_rng(spec.shard_seed(0))
+    times = shard.region.scenario.arrivals.times(shard.n_assigned, rng)
+    picks = rng.integers(0, len(toy.request_ids), size=shard.n_assigned)
+    assert [s.at_time for s in shard.submissions] == pytest.approx(
+        list(times)
+    )
+    assert [s.payload for s in shard.submissions] == [
+        toy.request_ids[int(p)] for p in picks
+    ]
