@@ -1,0 +1,219 @@
+"""Critical-path analysis over recorded traces.
+
+Answers the question the paper's tier-escalation design raises for
+every slow request: *where did the time go* — queueing, the fast leg,
+the escalation wait, the accurate leg, a retry backoff, or a
+cross-region failover hop?
+
+:func:`breakdown` attributes one request's stage seconds;
+:func:`aggregate_breakdown` groups requests into classes (fast,
+escalated, retried, failed, shed, failover) and averages the stages per
+class; :func:`tail_attribution` restricts to the latency tail and names
+the dominant stage — the "where did p95 go" table.
+
+Stage seconds are *billed/occupied* time per stage, not a partition of
+wall clock: concurrent-ensemble legs overlap, so a request's stage
+seconds can legitimately sum past its duration.  The dominant stage is
+still the right lever — it is where serving capacity or waiting was
+actually spent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import Span, Trace
+
+__all__ = [
+    "aggregate_breakdown",
+    "breakdown",
+    "format_breakdown_table",
+    "request_class",
+    "tail_attribution",
+]
+
+#: Display order for stage columns; unknown stages sort after these.
+_STAGE_ORDER = (
+    "queue-wait",
+    "leg-fast",
+    "escalate-wait",
+    "leg-accurate",
+    "retry-backoff",
+    "failover-hop",
+)
+
+
+def _stage_of(span: Span) -> Optional[Tuple[str, float]]:
+    """Map a span to ``(stage name, attributed seconds)``; None for roots."""
+    if span.name == "queue-wait":
+        return ("queue-wait", span.duration_s)
+    if span.name == "leg":
+        return (f"leg-{span.attrs.get('leg', 'fast')}", span.duration_s)
+    if span.name == "escalate":
+        return ("leg-accurate", span.duration_s)
+    if span.name == "escalate-wait":
+        return ("escalate-wait", span.duration_s)
+    if span.name == "retry-backoff":
+        return ("retry-backoff", span.duration_s)
+    if span.name == "failover-hop":
+        return (
+            "failover-hop",
+            float(span.attrs.get("extra_latency_s", 0.0)),
+        )
+    return None
+
+
+def breakdown(trace: Trace) -> Dict[str, float]:
+    """Stage seconds for one request, keyed by stage name."""
+    stages: Dict[str, float] = {}
+    for span in trace.spans[1:]:
+        attributed = _stage_of(span)
+        if attributed is None:
+            continue
+        name, seconds = attributed
+        stages[name] = stages.get(name, 0.0) + seconds
+    return stages
+
+
+def request_class(trace: Trace) -> str:
+    """Deterministic request class for grouping.
+
+    ``shed`` and ``failed`` trump shape; answered requests split into
+    ``escalated`` vs ``fast``; a served failover hop prefixes
+    ``failover:`` and re-driven attempts append ``+retry``.
+    """
+    root = trace.root
+    if root.status == "shed":
+        return "shed"
+    if root.status == "failed":
+        base = "failed"
+    elif root.attrs.get("escalated"):
+        base = "escalated"
+    else:
+        base = "fast"
+    if int(root.attrs.get("retries", 0) or 0) > 0:
+        base += "+retry"
+    if "home_region" in root.attrs:
+        base = f"failover:{base}"
+    return base
+
+
+def _sorted_stages(stages: Iterable[str]) -> List[str]:
+    order = {name: i for i, name in enumerate(_STAGE_ORDER)}
+    return sorted(stages, key=lambda s: (order.get(s, len(order)), s))
+
+
+def _dominant(stages: Dict[str, float]) -> Optional[str]:
+    if not stages:
+        return None
+    # Ties break on canonical stage order, so the result is stable.
+    return max(_sorted_stages(stages), key=lambda name: stages[name])
+
+
+def aggregate_breakdown(traces) -> Dict[str, dict]:
+    """Per-class mean stage seconds over a run.
+
+    Accepts a :class:`~repro.obs.trace.TraceCollector` or any iterable
+    of traces.  Returns ``{class: {count, mean_duration_s,
+    stages: {stage: mean seconds}, dominant}}`` with classes sorted by
+    descending count.
+    """
+    items = getattr(traces, "traces", traces)
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    durations: Dict[str, float] = {}
+    for trace in items:
+        cls = request_class(trace)
+        counts[cls] = counts.get(cls, 0) + 1
+        durations[cls] = durations.get(cls, 0.0) + trace.duration_s
+        bucket = sums.setdefault(cls, {})
+        for stage, seconds in breakdown(trace).items():
+            bucket[stage] = bucket.get(stage, 0.0) + seconds
+    result: Dict[str, dict] = {}
+    for cls in sorted(counts, key=lambda c: (-counts[c], c)):
+        n = counts[cls]
+        stages = {
+            stage: total / n for stage, total in sorted(sums[cls].items())
+        }
+        result[cls] = {
+            "count": n,
+            "mean_duration_s": durations[cls] / n,
+            "stages": stages,
+            "dominant": _dominant(stages),
+        }
+    return result
+
+
+def tail_attribution(traces, percentile: float = 95.0) -> dict:
+    """Where the latency tail went: mean stage seconds above the
+    ``percentile``-th duration, with the dominant stage named.
+
+    Shed requests never entered service and are excluded.  Returns
+    ``{percentile, threshold_s, n_tail, n_total, stages, dominant,
+    dominant_share}``.
+    """
+    items = [
+        t
+        for t in getattr(traces, "traces", traces)
+        if t.root.status != "shed"
+    ]
+    if not items:
+        return {
+            "percentile": percentile,
+            "threshold_s": 0.0,
+            "n_tail": 0,
+            "n_total": 0,
+            "stages": {},
+            "dominant": None,
+            "dominant_share": 0.0,
+        }
+    durations = sorted(t.duration_s for t in items)
+    rank = min(
+        len(durations) - 1,
+        max(0, int(round(percentile / 100.0 * (len(durations) - 1)))),
+    )
+    threshold = durations[rank]
+    tail = [t for t in items if t.duration_s >= threshold]
+    sums: Dict[str, float] = {}
+    for trace in tail:
+        for stage, seconds in breakdown(trace).items():
+            sums[stage] = sums.get(stage, 0.0) + seconds
+    stages = {stage: total / len(tail) for stage, total in sorted(sums.items())}
+    dominant = _dominant(stages)
+    total = sum(stages.values())
+    return {
+        "percentile": percentile,
+        "threshold_s": threshold,
+        "n_tail": len(tail),
+        "n_total": len(items),
+        "stages": stages,
+        "dominant": dominant,
+        "dominant_share": (stages[dominant] / total) if dominant and total else 0.0,
+    }
+
+
+def format_breakdown_table(aggregate: Dict[str, dict]) -> str:
+    """Render :func:`aggregate_breakdown` output as an aligned table."""
+    stage_names = _sorted_stages(
+        {stage for info in aggregate.values() for stage in info["stages"]}
+    )
+    header = ["class", "count", "mean_s"] + stage_names + ["dominant"]
+    rows: List[List[str]] = [header]
+    for cls, info in aggregate.items():
+        row = [cls, str(info["count"]), f"{info['mean_duration_s']:.4f}"]
+        for stage in stage_names:
+            seconds = info["stages"].get(stage)
+            row.append("-" if seconds is None else f"{seconds:.4f}")
+        row.append(info["dominant"] or "-")
+        rows.append(row)
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(header))
+    ]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)).rstrip()
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Rate-limited, seed-safe structured logging for the serving stack.
+
+Every logger lives under the ``repro`` namespace and is **silent by
+default**: the namespace root carries a :class:`logging.NullHandler`
+(so stdlib's last-resort stderr handler never fires) and inherits the
+root logger's WARNING threshold (so the ``info``/``debug`` calls
+sprinkled through hot-ish paths are cheap no-ops).  Call
+:func:`enable` to see output; tests can use pytest's ``caplog`` as
+usual because records still propagate.
+
+Seed-safety: rate limiting is **count-based** — the first ``first``
+occurrences of a message template pass, then every ``every``-th — so
+logging never reads the wall clock or any RNG and can never perturb a
+simulation's determinism.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, Optional
+
+__all__ = [
+    "RateLimitedLogger",
+    "disable",
+    "enable",
+    "get_logger",
+    "get_rate_limited",
+]
+
+_NAMESPACE = "repro"
+
+# Installed once at import: guarantees silence (and no lastResort
+# stderr spill) when the host application never configures logging.
+logging.getLogger(_NAMESPACE).addHandler(logging.NullHandler())
+
+_enabled_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A stdlib logger under the ``repro`` namespace.
+
+    ``get_logger("service.gateway")`` → ``repro.service.gateway``.
+    """
+    if name.startswith(_NAMESPACE + ".") or name == _NAMESPACE:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_NAMESPACE}.{name}")
+
+
+class RateLimitedLogger:
+    """A logger wrapper that count-limits per message template.
+
+    The *template* (the unformatted format string) is the rate-limit
+    key, so ``log.info("fallback: %s", reason)`` with a thousand
+    different reasons still collapses to ``first`` + every
+    ``every``-th line.  When a suppressed template passes again, the
+    line is annotated with how many occurrences were dropped.
+    """
+
+    def __init__(
+        self,
+        logger: logging.Logger,
+        *,
+        first: int = 5,
+        every: int = 100,
+    ) -> None:
+        self.logger = logger
+        self.first = first
+        self.every = every
+        self._counts: Dict[str, int] = {}
+
+    def _admit(self, template: str) -> Optional[int]:
+        """Occurrence count if this line should be emitted, else None."""
+        count = self._counts.get(template, 0) + 1
+        self._counts[template] = count
+        if count <= self.first:
+            return count
+        if self.every > 0 and count % self.every == 0:
+            return count
+        return None
+
+    def _log(self, level: int, template: str, *args: object) -> None:
+        if not self.logger.isEnabledFor(level):
+            return
+        count = self._admit(template)
+        if count is None:
+            return
+        if count > self.first:
+            template += " [%d occurrences, rate-limited]"
+            args = args + (count,)
+        self.logger.log(level, template, *args)
+
+    def debug(self, template: str, *args: object) -> None:
+        self._log(logging.DEBUG, template, *args)
+
+    def info(self, template: str, *args: object) -> None:
+        self._log(logging.INFO, template, *args)
+
+    def warning(self, template: str, *args: object) -> None:
+        self._log(logging.WARNING, template, *args)
+
+    def error(self, template: str, *args: object) -> None:
+        self._log(logging.ERROR, template, *args)
+
+    def reset(self) -> None:
+        """Forget all counts (a new run starts from a clean budget)."""
+        self._counts.clear()
+
+
+def get_rate_limited(
+    name: str, *, first: int = 5, every: int = 100
+) -> RateLimitedLogger:
+    """A :class:`RateLimitedLogger` for ``repro.<name>``."""
+    return RateLimitedLogger(get_logger(name), first=first, every=every)
+
+
+def enable(
+    level: int = logging.INFO, stream=None
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` namespace.
+
+    Idempotent: calling again replaces the previous handler (and
+    adopts the new level).  Returns the installed handler.
+    """
+    global _enabled_handler
+    root = logging.getLogger(_NAMESPACE)
+    if _enabled_handler is not None:
+        root.removeHandler(_enabled_handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+    _enabled_handler = handler
+    return handler
+
+
+def disable() -> None:
+    """Undo :func:`enable`: back to silent-by-default."""
+    global _enabled_handler
+    root = logging.getLogger(_NAMESPACE)
+    if _enabled_handler is not None:
+        root.removeHandler(_enabled_handler)
+        _enabled_handler = None
+    root.setLevel(logging.NOTSET)

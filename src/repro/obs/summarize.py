@@ -1,0 +1,191 @@
+"""``python -m repro.obs.summarize`` — inspect recorded trace runs.
+
+Three modes:
+
+``summarize TRACE.jsonl``
+    Load an exported trace run (digest-verified), print the run
+    overview, the per-class critical-path table and the tail
+    attribution ("where did p95 go").
+
+``summarize --record SCENARIO --out TRACE.jsonl``
+    Record a canonical or chaos scenario (toy measurement table) with
+    a trace collector attached and export the run to JSONL.
+
+``summarize --smoke``
+    End-to-end determinism smoke: record the ``gray-failure`` chaos
+    scenario, export → load → digest check, print the critical-path
+    table, then replay the recorded arrival stream through
+    ``TraceArrivals`` and verify the arrival times reproduce exactly.
+    Exits non-zero on any mismatch; wired into the fast CI tier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.obs.critical_path import (
+    aggregate_breakdown,
+    format_breakdown_table,
+    tail_attribution,
+)
+from repro.obs.trace import TraceCollector
+
+__all__ = ["main", "summarize_collector"]
+
+
+def summarize_collector(
+    collector: TraceCollector, *, percentile: float = 95.0
+) -> str:
+    """Human-readable summary of a loaded/recorded trace run."""
+    lines = [
+        f"traces:      {len(collector)}",
+        f"run events:  {len(collector.run_events)}",
+        f"digest:      {collector.digest()}",
+        "",
+        "critical path by request class (mean stage seconds):",
+        format_breakdown_table(aggregate_breakdown(collector)),
+    ]
+    tail = tail_attribution(collector, percentile)
+    if tail["n_tail"]:
+        lines += [
+            "",
+            (
+                f"tail (p{tail['percentile']:g} >= {tail['threshold_s']:.4f}s, "
+                f"{tail['n_tail']}/{tail['n_total']} requests): "
+                f"dominant stage '{tail['dominant']}' "
+                f"({tail['dominant_share'] * 100.0:.1f}% of attributed seconds)"
+            ),
+        ]
+    return "\n".join(lines)
+
+
+def _record_scenario(name: str) -> TraceCollector:
+    """Run one named toy scenario with a collector attached."""
+    from repro.service.simulation.scenarios import (
+        canonical_scenarios,
+        chaos_scenarios,
+        run_scenario,
+        scenario_measurements,
+    )
+
+    scenarios = dict(canonical_scenarios())
+    scenarios.update(chaos_scenarios())
+    if name not in scenarios:
+        known = ", ".join(sorted(scenarios))
+        raise SystemExit(f"unknown scenario {name!r}; known: {known}")
+    collector = TraceCollector()
+    run_scenario(scenarios[name], scenario_measurements(), trace=collector)
+    return collector
+
+
+def _smoke() -> int:
+    """Record → export → load → summarize → replay round-trip."""
+    import dataclasses
+
+    from repro.service.simulation.scenarios import (
+        chaos_scenarios,
+        run_scenario,
+        scenario_measurements,
+    )
+
+    spec = chaos_scenarios()["gray-failure"]
+    measurements = scenario_measurements()
+    collector = TraceCollector()
+    run_scenario(spec, measurements, trace=collector)
+    if not len(collector):
+        print("smoke FAILED: no traces recorded", file=sys.stderr)
+        return 1
+
+    handle, path = tempfile.mkstemp(suffix=".jsonl", prefix="trace-smoke-")
+    os.close(handle)
+    try:
+        collector.export_jsonl(path)
+        loaded = TraceCollector.load_jsonl(path)
+    finally:
+        os.unlink(path)
+    if loaded.digest() != collector.digest():
+        print("smoke FAILED: digest changed across JSONL round-trip",
+              file=sys.stderr)
+        return 1
+
+    print(summarize_collector(loaded))
+
+    # Replay: the recorded arrival stream, fed back as the workload,
+    # must reproduce the original arrival times bit-for-bit.
+    replay_spec = dataclasses.replace(spec, arrivals=loaded.to_arrivals())
+    replay_collector = TraceCollector()
+    run_scenario(replay_spec, measurements, trace=replay_collector)
+    if replay_collector.arrival_times() != loaded.arrival_times():
+        print("smoke FAILED: replayed arrival stream diverged",
+              file=sys.stderr)
+        return 1
+    print("\nsmoke OK: JSONL round-trip digest stable, "
+          f"replay reproduced {len(loaded)} arrival times")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.summarize", description=__doc__
+    )
+    parser.add_argument("trace", nargs="?", help="trace-run JSONL file")
+    parser.add_argument(
+        "--record", metavar="SCENARIO",
+        help="record a canonical/chaos scenario instead of loading a file",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="with --record: where to write the JSONL export",
+    )
+    parser.add_argument(
+        "--percentile", type=float, default=95.0,
+        help="tail percentile for attribution (default: 95)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregate breakdown and tail attribution as JSON",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="record→summarize→replay round-trip self-check (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _smoke()
+
+    if args.record:
+        collector = _record_scenario(args.record)
+        if args.out:
+            collector.export_jsonl(args.out)
+            print(f"wrote {len(collector)} traces to {args.out}")
+    elif args.trace:
+        collector = TraceCollector.load_jsonl(args.trace)
+    else:
+        parser.error("provide a trace file, --record SCENARIO, or --smoke")
+        return 2
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "n_traces": len(collector),
+                    "digest": collector.digest(),
+                    "breakdown": aggregate_breakdown(collector),
+                    "tail": tail_attribution(collector, args.percentile),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(summarize_collector(collector, percentile=args.percentile))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

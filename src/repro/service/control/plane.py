@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.configuration import EnsembleConfiguration
+from repro.obs.log import get_rate_limited
 from repro.service.control.admission import (
     ADMIT,
     AdmissionController,
@@ -56,6 +57,9 @@ __all__ = [
     "ControlSpec",
     "default_control_spec",
 ]
+
+#: State-transition log: silent by default (see :mod:`repro.obs.log`).
+_log = get_rate_limited("service.control.plane")
 
 
 @dataclass(frozen=True)
@@ -171,6 +175,10 @@ class ControlPlane:
         self.state = SLOState.OK
         self.log: List[ControlLogEntry] = []
         self.last_snapshot: Optional[WindowSnapshot] = None
+        #: Gray-failure detections/clears over the plane's lifetime
+        #: (exported as ``gray_detected_total`` / ``gray_cleared_total``).
+        self.gray_detected_total = 0
+        self.gray_cleared_total = 0
 
     @classmethod
     def from_spec(
@@ -299,10 +307,21 @@ class ControlPlane:
                         + (" [small-N guard]" if status.guarded else ""),
                     )
                 )
+                _log.info(
+                    "slo %s transitioned to %s at t=%.3f",
+                    status.name,
+                    status.state.value,
+                    now,
+                )
         states = [m.state for m in self.monitors]
         if self.gray_detector is not None:
             for kind, detail in self.gray_detector.evaluate():
                 self.log.append(ControlLogEntry(now, kind, detail))
+                if kind == "gray-detected":
+                    self.gray_detected_total += 1
+                elif kind == "gray-cleared":
+                    self.gray_cleared_total += 1
+                _log.info("%s at t=%.3f: %s", kind, now, detail)
             states.append(self.gray_detector.state)
         self.state = worst_state(states)
         if self.adaptor is None:
@@ -310,6 +329,9 @@ class ControlPlane:
         swap = self.adaptor.on_tick(snapshot, self.state, now)
         for event in self.adaptor.drain_events():
             self.log.append(ControlLogEntry(now, event.kind, event.detail))
+            _log.info(
+                "adaptor %s at t=%.3f: %s", event.kind, now, event.detail
+            )
         return swap
 
     # Synchronous gateways have no scheduled ticks; they pump the loop
@@ -341,6 +363,20 @@ class ControlPlane:
     def n_degraded(self) -> int:
         """Requests force-degraded by admission control so far."""
         return self.controller.n_degraded if self.controller is not None else 0
+
+    def metrics(self) -> dict:
+        """Control-plane counters in ``MetricsExporter`` source shape.
+
+        Register with
+        :meth:`~repro.service.control.telemetry.MetricsExporter.add_source`
+        to fold gray-detection and admission counters into scrapes.
+        """
+        return {
+            "control.gray_detected_total": float(self.gray_detected_total),
+            "control.gray_cleared_total": float(self.gray_cleared_total),
+            "control.shed_total": float(self.n_shed),
+            "control.degraded_total": float(self.n_degraded),
+        }
 
 
 def default_control_spec(

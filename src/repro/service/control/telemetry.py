@@ -32,6 +32,8 @@ not treat a flagged value as breach evidence.
 
 from __future__ import annotations
 
+import math
+import re
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
@@ -510,6 +512,26 @@ def snapshot_metrics(snapshot: WindowSnapshot, *, prefix: str = "gateway") -> Di
     return metrics
 
 
+#: Characters outside the Prometheus metric-name charset
+#: ``[a-zA-Z0-9_:]`` (each becomes an underscore).
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(label: str) -> str:
+    """Sanitise a dotted history label to a valid exposition name."""
+    name = _METRIC_NAME_BAD.sub("_", label)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _sample_value(value: float) -> str:
+    """Exposition-format sample value (``+Inf``/``-Inf``, not ``inf``)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return format(value, "g")
+
+
 class MetricsExporter:
     """Scrape-able view over a :class:`TelemetryHub`.
 
@@ -534,11 +556,24 @@ class MetricsExporter:
         self.hub = hub
         self.prefix = prefix
         self._scrapes = 0
+        self._sources: List[Callable[[], Dict[str, float]]] = []
 
     @property
     def total_scrapes(self) -> int:
         """Scrapes served over the exporter's lifetime."""
         return self._scrapes
+
+    def add_source(self, source: Callable[[], Dict[str, float]]) -> None:
+        """Register an extra metrics source merged into every scrape.
+
+        A source is any zero-argument callable returning a flat
+        ``{label: value}`` dict — e.g.
+        :meth:`repro.obs.trace.TraceCollector.metrics` (span counters)
+        or :meth:`repro.service.control.plane.ControlPlane.metrics`
+        (gray-detection and admission counters).  Later sources win on
+        label collisions.
+        """
+        self._sources.append(source)
 
     def scrape(self, now: float) -> Dict[str, float]:
         """Snapshot the hub and return flat history-schema metrics.
@@ -548,20 +583,35 @@ class MetricsExporter:
                 non-decreasing across scrapes, like ``snapshot``).
         """
         self._scrapes += 1
-        return snapshot_metrics(self.hub.snapshot(now), prefix=self.prefix)
+        metrics = snapshot_metrics(self.hub.snapshot(now), prefix=self.prefix)
+        for source in self._sources:
+            for label, value in source().items():
+                metrics[label] = float(value)
+        return metrics
 
     def render(self, now: float) -> str:
         """The scrape as a Prometheus-style text exposition.
 
-        Labels are sanitised to metric-name charset (dots and dashes
-        become underscores); one ``# TYPE ... gauge`` header per line
-        keeps the output self-describing for scrapers.
+        Labels are sanitised to the metric-name charset
+        (``[a-zA-Z_:][a-zA-Z0-9_:]*`` — every other character becomes
+        an underscore, a leading digit gains one); one
+        ``# TYPE ... gauge`` header per metric name keeps the output
+        self-describing.  Exposition edge cases follow the format spec:
+        ``NaN`` samples are omitted (a gauge with no measurement is not
+        a sample), infinities render as ``+Inf`` / ``-Inf`` (Python's
+        ``inf`` spelling is not valid exposition), and two labels that
+        sanitise to the same name keep one header.
         """
         lines = []
+        seen_headers = set()
         for label, value in sorted(self.scrape(now).items()):
-            name = label.replace(".", "_").replace("-", "_")
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {value:g}")
+            if math.isnan(value):
+                continue
+            name = _metric_name(label)
+            if name not in seen_headers:
+                seen_headers.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_sample_value(value)}")
         return "\n".join(lines) + "\n"
 
     def history_record(self, now: float, *, smoke: bool = False) -> Dict[str, object]:

@@ -39,9 +39,14 @@ from repro.core.errors import (
     UnroutableToleranceError,
 )
 from repro.core.executor import PolicyExecutor
+from repro.obs.log import get_rate_limited
 from repro.service.request import ServiceRequest, ServiceResponse
 
 __all__ = ["TierGateway", "TierTicket"]
+
+#: Gateway error-path log: silent by default, rate-limited per template
+#: so a mass-shed scenario cannot flood (see :mod:`repro.obs.log`).
+_log = get_rate_limited("service.gateway")
 
 
 class TierTicket:
@@ -172,6 +177,14 @@ class TierGateway:
             admission belongs on the virtual clock there, and this
             gateway's :meth:`drain` resolves engine-shed tickets with
             the same structured error.
+        trace: Optional :class:`~repro.obs.trace.TraceCollector` — the
+            session's ``TraceSink``.  On a simulated backend it is
+            forwarded to the engine (rich virtual-clock spans, one tree
+            per request, available after :meth:`drain`); on synchronous
+            backends the gateway records coarse trees at submit time.
+            Ticket-level access via :meth:`trace_for`.  Strictly
+            opt-in: responses, reports and digests are identical with
+            or without one.
 
     Raises:
         MissingVersionError: If a routable configuration needs a version
@@ -187,6 +200,7 @@ class TierGateway:
         router=None,
         configuration=None,
         control=None,
+        trace=None,
     ) -> None:
         if (router is None) == (configuration is None):
             raise ValueError("supply exactly one of router / configuration")
@@ -200,6 +214,14 @@ class TierGateway:
         self.router = router
         self.configuration = configuration
         self.control = control
+        #: The session's trace sink (a ``TraceCollector``), or ``None``.
+        self.trace = trace
+        if trace is not None:
+            attach = getattr(backend, "attach_trace", None)
+            if attach is not None:
+                # Simulated backend: the engine records rich spans on
+                # the virtual clock.  Must happen before bind() below.
+                attach(trace)
         self._executor = PolicyExecutor(backend)
         self._tickets: List[TierTicket] = []
         self._unclaimed: List[ServiceResponse] = []
@@ -329,6 +351,10 @@ class TierGateway:
             )
             ticket._resolve(response)
             self._unclaimed.append(response)
+            if self.trace is not None:
+                self._record_sync_trace(
+                    request, outcome, degraded=degraded
+                )
             if self.control is not None:
                 self._publish_outcome(
                     request, outcome, self._control_clock, degraded=degraded
@@ -370,6 +396,13 @@ class TierGateway:
                 record=record,
             )
         )
+        _log.info(
+            "shed request %s at admission: %s", request.request_id, reason
+        )
+        if self.trace is not None:
+            from repro.obs.reconstruct import trace_from_record
+
+            self.trace.add_trace(trace_from_record(record))
         self.control.observe(record, at_time)
         self._pump_control(at_time)
 
@@ -399,6 +432,50 @@ class TierGateway:
         )
         self.control.observe(record, at_time)
         self._pump_control(at_time)
+
+    def _record_sync_trace(
+        self, request: ServiceRequest, outcome, *, degraded: bool
+    ) -> None:
+        """Record a coarse trace for a synchronously served request.
+
+        Synchronous sessions have no virtual clock, so the trace
+        timeline uses the session's submission counter as the arrival
+        time (one unit per submission, matching the control clock) and
+        the measured response time as the duration.
+        """
+        from repro.obs.reconstruct import trace_from_record
+        from repro.service.simulation.report import RequestRecord
+
+        arrival = float(len(self._tickets) - 1)
+        record = RequestRecord(
+            request_id=outcome.request_id,
+            payload=request.payload,
+            tier=request.tolerance,
+            arrival_s=arrival,
+            finished_s=arrival + outcome.response_time_s,
+            response_time_s=outcome.response_time_s,
+            queue_wait_s=0.0,
+            versions_used=outcome.versions_used,
+            escalated=outcome.escalated,
+            invocation_cost=outcome.invocation_cost,
+            node_seconds=dict(outcome.node_seconds),
+            failed=False,
+            retries=0,
+            result=outcome.result,
+            confidence=outcome.confidence,
+            degraded=degraded,
+        )
+        self.trace.add_trace(trace_from_record(record))
+
+    def trace_for(self, ticket: TierTicket):
+        """The span tree recorded for a ticket's request, or ``None``.
+
+        Needs a ``trace`` sink attached at construction; on a simulated
+        backend traces materialize at :meth:`drain`.
+        """
+        if self.trace is None:
+            return None
+        return self.trace.trace_for(ticket.request.request_id)
 
     def _pump_control(self, at_time: float) -> None:
         """Evaluate SLOs / adaptation; apply a hot-swap when possible.
@@ -476,6 +553,10 @@ class TierGateway:
         for ticket in self._tickets:
             record = by_id.get(ticket.request.request_id)
             if record is None:
+                _log.error(
+                    "no record for submitted request %s at drain",
+                    ticket.request.request_id,
+                )
                 ticket._fail(
                     RequestFailedError(
                         f"request {ticket.request.request_id!r} was submitted "
@@ -486,6 +567,10 @@ class TierGateway:
                 # Admission control dropped the request inside the
                 # engine; the ticket resolves with the structured shed
                 # error — it must never hang past a drain.
+                _log.info(
+                    "request %s was shed by engine admission control",
+                    record.request_id,
+                )
                 ticket._fail(
                     RequestShedError(
                         f"request {record.request_id!r} was shed by "
@@ -494,6 +579,11 @@ class TierGateway:
                     )
                 )
             elif record.failed:
+                _log.info(
+                    "request %s failed terminally after %d retries",
+                    record.request_id,
+                    record.retries,
+                )
                 ticket._fail(
                     RequestFailedError(
                         f"request {record.request_id!r} failed terminally "

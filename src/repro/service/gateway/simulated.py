@@ -60,6 +60,11 @@ class SimulatedBackend:
         control_measurements: Measurement table a spec-built plane's
             adaptor re-fits on.
         seed: Seed for arrival sampling, fault and admission draws.
+        trace: Optional trace sink — a
+            :class:`~repro.obs.trace.TraceCollector` (or a pre-built
+            :class:`~repro.obs.record.SimTraceRecorder`) that receives
+            one span tree per request; forwarded to the engine at
+            :meth:`bind`.  Opt-in and digest-neutral.
     """
 
     synchronous = False
@@ -77,9 +82,11 @@ class SimulatedBackend:
         control_measurements=None,
         seed: int = 0,
         engine: Optional[str] = None,
+        trace=None,
     ) -> None:
         self.cluster = cluster
         self._engine_choice = engine
+        self._trace = trace
         self._batching = batching
         self._autoscaler_config = autoscaler_config
         self._faults = tuple(faults)
@@ -102,6 +109,7 @@ class SimulatedBackend:
         check_invariants: bool = False,
         selection_policy=None,
         engine: Optional[str] = None,
+        trace=None,
     ) -> "SimulatedBackend":
         """Build a backend from a scenario spec's engine-facing fields.
 
@@ -137,6 +145,7 @@ class SimulatedBackend:
             control_measurements=measurements,
             seed=spec.seed,
             engine=engine,
+            trace=trace,
         )
 
     @classmethod
@@ -196,6 +205,20 @@ class SimulatedBackend:
         """Versions the wrapped deployment can serve."""
         return self.cluster.versions
 
+    def attach_trace(self, trace) -> None:
+        """Attach a trace sink before the gateway binds the engine.
+
+        Raises:
+            GatewayClosedError: If the engine was already built — the
+                sink must be in place before the first event runs.
+        """
+        if self._simulator is not None:
+            raise GatewayClosedError(
+                "this SimulatedBackend is already bound; attach the trace "
+                "sink before building the gateway"
+            )
+        self._trace = trace
+
     def bind(self, *, router=None, configuration=None) -> None:
         """Attach the gateway's routing decision and build the engine.
 
@@ -223,6 +246,11 @@ class SimulatedBackend:
                 deployed_versions=self.cluster.versions,
             )
         self.control = control
+        trace = self._trace
+        if trace is not None and not hasattr(trace, "on_finalized"):
+            from repro.obs.record import SimTraceRecorder
+
+            trace = SimTraceRecorder(trace)
         self._simulator = ServingSimulator(
             self.cluster,
             router=router,
@@ -237,6 +265,7 @@ class SimulatedBackend:
             retry=self._retry,
             check_invariants=self._check_invariants,
             control=control,
+            trace=trace,
             seed=self._seed,
             engine=self._engine_choice,
         )

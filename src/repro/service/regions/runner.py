@@ -73,6 +73,7 @@ def build_shard_tasks(
     engine: Optional[str] = None,
     check_invariants: bool = False,
     keep_reports: bool = False,
+    trace: bool = False,
 ) -> List[ShardTask]:
     """Self-contained worker tasks for every shard of a plan.
 
@@ -100,9 +101,46 @@ def build_shard_tasks(
                 engine=resolved,
                 check_invariants=check_invariants,
                 keep_report=keep_reports,
+                trace=trace,
             )
         )
     return tasks
+
+
+def _merge_traces(results: List[ShardResult], sink) -> None:
+    """Fold per-shard traces into ``sink`` in a parallel-stable order.
+
+    Shards finish their requests on independent virtual clocks, so the
+    merged stream sorts by ``(finish time, region index, shard seq)`` —
+    fully determined by the plan, never by worker scheduling.  Every
+    trace root and run event is stamped with its region so a merged
+    collector can still be cut back per region.
+    """
+    from repro.obs.trace import Trace
+
+    keyed = []
+    for result in results:
+        for seq, payload in enumerate(result.trace_dicts or ()):
+            trace = Trace.from_dict(payload)
+            trace.root.attrs.setdefault("region", result.region)
+            keyed.append(((trace.root.end_s, result.index, seq), trace))
+    keyed.sort(key=lambda item: item[0])
+    for _, trace in keyed:
+        sink.add_trace(trace)
+    events = []
+    for result in results:
+        for seq, (time_s, kind, detail, region) in enumerate(
+            result.trace_run_events or ()
+        ):
+            events.append(
+                (
+                    (time_s, result.index, seq),
+                    (time_s, kind, detail, region or result.region),
+                )
+            )
+    events.sort(key=lambda item: item[0])
+    for _, (time_s, kind, detail, region) in events:
+        sink.add_run_event(time_s, kind, detail, region)
 
 
 def run_multi_region(
@@ -113,6 +151,7 @@ def run_multi_region(
     engine: Optional[str] = None,
     check_invariants: bool = False,
     keep_reports: bool = False,
+    trace=None,
 ) -> MultiRegionReport:
     """Run a multi-region spec end to end.
 
@@ -132,6 +171,12 @@ def run_multi_region(
             :class:`~repro.service.simulation.report.LoadTestReport`
             on its result (serial-friendly; costs pickling when
             combined with ``parallel``).
+        trace: Optional :class:`~repro.obs.trace.TraceCollector` that
+            receives one span tree per request across every region,
+            merged in ``(finish time, region index, shard seq)`` order.
+            Failover traffic carries a ``failover-hop`` span linking
+            its home and serving regions.  Opt-in and digest-neutral:
+            the merged report digest is identical with or without it.
     """
     audit_seed_streams(multi_region_streams(spec))
     plan = RegionRouter(spec, measurements).plan()
@@ -141,6 +186,7 @@ def run_multi_region(
         engine=engine,
         check_invariants=check_invariants,
         keep_reports=keep_reports,
+        trace=trace is not None,
     )
     results: List[ShardResult]
     if parallel is not None and parallel > 1 and len(tasks) > 1:
@@ -149,4 +195,6 @@ def run_multi_region(
             results = list(executor.map(run_shard, tasks))
     else:
         results = [run_shard(task) for task in tasks]
+    if trace is not None:
+        _merge_traces(results, trace)
     return merge_shards(plan, results)

@@ -70,6 +70,11 @@ class ShardTask:
     engine: Optional[str] = None
     check_invariants: bool = False
     keep_report: bool = False
+    #: Record one span tree per request (see :mod:`repro.obs`).  The
+    #: shard builds its own collector inside the worker and ships the
+    #: traces back as plain dicts, so tracing stays picklable and the
+    #: parallel run merges to the same trace stream as the serial one.
+    trace: bool = False
 
 
 @dataclass
@@ -98,6 +103,11 @@ class ShardResult:
         slo_log: Region SLO replay entries (region-named).
         final_pool_sizes: Pool sizes at drain.
         report: The full shard report when ``keep_report`` was set.
+        trace_dicts: One dict per recorded trace (completion order)
+            when the task asked for tracing — picklable form of
+            :class:`~repro.obs.trace.Trace`.
+        trace_run_events: Recorded run-level events as
+            ``(time_s, kind, detail, region)`` tuples.
     """
 
     region: str
@@ -124,6 +134,10 @@ class ShardResult:
     slo_log: List[ControlLogEntry] = field(default_factory=list)
     final_pool_sizes: Dict[str, int] = field(default_factory=dict)
     report: Optional[LoadTestReport] = None
+    trace_dicts: Optional[List[dict]] = None
+    trace_run_events: Optional[List[Tuple[float, str, str, Optional[str]]]] = (
+        None
+    )
 
 
 def _empty_result(task: ShardTask) -> ShardResult:
@@ -151,6 +165,8 @@ def _empty_result(task: ShardTask) -> ShardResult:
         user_latencies_ok=np.empty(0, dtype=float),
         last_finished_s=0.0,
         total_cost=0.0,
+        trace_dicts=[] if task.trace else None,
+        trace_run_events=[] if task.trace else None,
     )
 
 
@@ -177,6 +193,22 @@ def run_shard(task: ShardTask) -> ShardResult:
         if scenario.control is not None
         else None
     )
+    recorder = None
+    collector = None
+    if task.trace:
+        from repro.obs.record import SimTraceRecorder
+        from repro.obs.trace import TraceCollector
+
+        collector = TraceCollector()
+        recorder = SimTraceRecorder(collector)
+        for submission in task.submissions:
+            if submission.origin != task.region.name:
+                recorder.annotate_failover(
+                    submission.request_id,
+                    home=submission.origin,
+                    served=task.region.name,
+                    extra_latency_s=submission.extra_latency_s,
+                )
     simulator = ServingSimulator(
         cluster,
         router=scenario.router,
@@ -187,6 +219,7 @@ def run_shard(task: ShardTask) -> ShardResult:
         retry=scenario.retry,
         check_invariants=task.check_invariants,
         control=control,
+        trace=recorder,
         seed=scenario.seed,
         engine=task.engine,
     )
@@ -256,6 +289,14 @@ def run_shard(task: ShardTask) -> ShardResult:
         slo_log=slo_log.entries,
         final_pool_sizes=dict(report.final_pool_sizes),
         report=report if task.keep_report else None,
+        trace_dicts=(
+            [trace.to_dict() for trace in collector.traces]
+            if collector is not None
+            else None
+        ),
+        trace_run_events=(
+            list(collector.run_events) if collector is not None else None
+        ),
     )
 
 

@@ -111,10 +111,15 @@ from repro.service.simulation.faults import (
     TransientFaults,
     affected_versions,
 )
+from repro.obs.log import get_rate_limited
 from repro.service.simulation.invariants import InvariantChecker
 from repro.service.simulation.report import LoadTestReport, RequestRecord
 
 __all__ = ["ServingSimulator"]
+
+#: Silent by default (see :mod:`repro.obs.log`); rate-limited so a
+#: per-run fallback note can never flood a batch of simulations.
+_log = get_rate_limited("service.simulation.engine")
 
 #: Safety valve: no sane load test needs more events than this.
 _MAX_EVENTS = 10_000_000
@@ -299,6 +304,12 @@ class ServingSimulator:
             every record the engine emits (telemetry publishing without
             any engine⇄control coupling).  The control plane's
             ``observe`` is appended automatically.
+        trace: Optional trace recorder (duck-typed like ``control``; see
+            :class:`repro.obs.record.SimTraceRecorder`).  The legacy
+            loop drives its per-event hooks; a columnar drain hands it
+            the finished report for post-hoc span reconstruction
+            instead, so attaching one never forces the slow path and
+            never changes a report digest.
         seed: Seed for arrival sampling and payload choice (transient
             fault draws use a generator derived from it, so healthy and
             faulty runs see identical arrivals).
@@ -327,6 +338,7 @@ class ServingSimulator:
         check_invariants: bool = False,
         control=None,
         record_hooks: Sequence[Any] = (),
+        trace=None,
         seed: int = 0,
         engine: Optional[str] = None,
     ) -> None:
@@ -402,6 +414,16 @@ class ServingSimulator:
         if control is not None:
             hooks = hooks + (control.observe,)
         self._record_hooks = hooks
+        # Trace recording is deliberately NOT a record hook: hooks force
+        # the columnar engine onto its slow path, while a trace recorder
+        # is reconstructed post-hoc from RecordColumns (see drain()).
+        # Every call site guards on None, so the disabled cost is one
+        # attribute test.
+        if trace is not None and not hasattr(trace, "on_finalized"):
+            from repro.obs.record import SimTraceRecorder
+
+            trace = SimTraceRecorder(trace)
+        self._trace = trace
         self._control_tick_scheduled = False
         known = set(cluster.load_balancer.versions)
         for fault in self._faults:
@@ -652,6 +674,11 @@ class ServingSimulator:
                     self._remaining = 0
                     self._submissions = []
                     self._bulk = None
+                    if self._trace is not None:
+                        self._trace.on_columnar_report(report)
+                        self._trace.on_run_complete(
+                            report.fault_log, report.control_log
+                        )
                     return report
             # Fall back to the legacy loop: replay the deferred
             # submissions in submission order, so their events hold the
@@ -660,6 +687,7 @@ class ServingSimulator:
             # materialize the ServiceRequest objects run() skipped.
             self.fallback_reason = reason
             self.engine_used = "legacy"
+            _log.info("columnar drain fell back to legacy loop: %s", reason)
             for request, at_time in self._submissions:
                 self._loop.schedule_at(
                     at_time,
@@ -745,6 +773,8 @@ class ServingSimulator:
         )
         report.engine_used = self.engine_used
         report.fallback_reason = self.fallback_reason
+        if self._trace is not None:
+            self._trace.on_run_complete(report.fault_log, report.control_log)
         if self._check is not None:
             self._check.verify(report, self.cluster, self._retry)
         return report
@@ -763,6 +793,8 @@ class ServingSimulator:
         return self._router.route_request(request)
 
     def _on_arrival(self, request: ServiceRequest) -> None:
+        if self._trace is not None:
+            self._trace.on_arrival(request.request_id, self._loop.now)
         configuration = self._plan(request)
         degraded = False
         if self._control is not None:
@@ -775,11 +807,25 @@ class ServingSimulator:
                     raise ValueError(
                         f"duplicate request id {request.request_id!r}"
                     )
+                if self._trace is not None:
+                    self._trace.on_admission(
+                        request.request_id,
+                        "shed",
+                        getattr(decision, "reason", "") or "",
+                        self._loop.now,
+                    )
                 self._shed_request(request)
                 return
             if action == "degrade" and decision.configuration is not None:
                 configuration = decision.configuration
                 degraded = True
+                if self._trace is not None:
+                    self._trace.on_admission(
+                        request.request_id,
+                        "degrade",
+                        configuration.config_id,
+                        self._loop.now,
+                    )
         state = _InFlight(request, configuration)
         state.degraded = degraded
         state.arrival = self._loop.now
@@ -824,6 +870,11 @@ class ServingSimulator:
     def _emit_record(self, record: RequestRecord) -> None:
         """Publish one emitted record to the registered event hooks."""
         now = self._loop.now
+        if self._trace is not None:
+            # Every terminal outcome funnels through here (completed,
+            # failed, shed, parked resolution), so this is the single
+            # point where a request's trace is built and collected.
+            self._trace.on_finalized(record, now)
         for hook in self._record_hooks:
             hook(record, now)
 
@@ -844,7 +895,17 @@ class ServingSimulator:
             self._check.on_attempt_started(
                 state.request.request_id, version, attempt, now
             )
-        if self.cluster.load_balancer.live_pool_size(version) == 0:
+        parked = self.cluster.load_balancer.live_pool_size(version) == 0
+        if self._trace is not None:
+            self._trace.on_attempt(
+                state.request.request_id,
+                version,
+                "accurate" if version == state.accurate_version else "fast",
+                attempt,
+                now,
+                parked=parked,
+            )
+        if parked:
             self._parked.setdefault(version, []).append(
                 QueuedRequest(
                     state.request.request_id,
@@ -919,6 +980,14 @@ class ServingSimulator:
                 )
                 for completion in completions
             ]
+            if self._trace is not None:
+                for completion in completions:
+                    self._trace.on_deflated(
+                        completion.result.request_id,
+                        node.node_id,
+                        factor,
+                        self._loop.now,
+                    )
         if self._observe_node is not None:
             now = self._loop.now
             for completion in completions:
@@ -959,6 +1028,18 @@ class ServingSimulator:
                 completion.finished_at,
                 "ok",
                 seconds=completion.amortized_seconds,
+            )
+        if self._trace is not None:
+            node = (
+                state.accurate_node
+                if version == state.accurate_version
+                else state.fast_node
+            )
+            self._trace.on_attempt_done(
+                request_id,
+                version,
+                completion,
+                node.node_id if node is not None else None,
             )
         if (
             state.accurate_version is not None
@@ -1352,10 +1433,18 @@ class ServingSimulator:
         if balancer.live_pool_size(version) == 0:
             self._parked.setdefault(version, []).append(item)
             self._note_leg_node(state, version, None)
+            if self._trace is not None:
+                self._trace.on_migrated(
+                    item.request_id, version, self._loop.now, parked=True
+                )
             return
         node = balancer.select_node(version)
         node.requeue(item)
         self._note_leg_node(state, version, node)
+        if self._trace is not None:
+            self._trace.on_migrated(
+                item.request_id, version, self._loop.now, parked=False
+            )
         # The migrated item may be older than the head that armed the
         # node's flush deadline; re-arm from the current queue state.
         pending = self._flush_events.pop(node.node_id, None)
@@ -1405,6 +1494,8 @@ class ServingSimulator:
             self._check.on_attempt_finished(
                 request_id, version, attempt, now, reason
             )
+        if self._trace is not None:
+            self._trace.on_attempt_failed(request_id, version, now, reason)
         if attempt < self._retry.max_attempts:
             if self._retry_budget_allows(state):
                 state.retry_pending[version] = True
@@ -1412,6 +1503,10 @@ class ServingSimulator:
                 self._total_retries_planned += 1
                 self._inflight_retries += 1
                 delay = self._retry.delay_before_retry(attempt)
+                if self._trace is not None:
+                    self._trace.on_retry_wait(
+                        request_id, version, attempt, now, delay
+                    )
                 self._loop.schedule(
                     delay,
                     lambda r=request_id, v=version: self._on_retry(r, v),
@@ -1427,6 +1522,8 @@ class ServingSimulator:
             self._retries_denied += 1
             if self._check is not None:
                 self._check.on_retry_denied(request_id, version, now)
+            if self._trace is not None:
+                self._trace.on_retry_denied(request_id, version, now)
         # Attempts exhausted.  A confident fast answer makes the loss of
         # the accurate leg harmless (conc/et bill the fast result anyway),
         # and symmetrically a lost fast leg is survivable while a
@@ -1641,6 +1738,10 @@ class ServingSimulator:
             state.escalated = should_escalate(
                 fast.result.confidence, state.threshold
             )
+            if state.escalated and self._trace is not None:
+                self._trace.on_escalated(
+                    state.request.request_id, self._loop.now
+                )
 
         if state.kind == "seq":
             self._advance_sequential(state)
@@ -1842,6 +1943,8 @@ class ServingSimulator:
         swap = self._control.on_tick(self._loop.now)
         if swap is not None:
             self._apply_configuration(swap)
+            if self._trace is not None:
+                self._trace.on_epoch(self._loop.now, swap.config_id)
         if self._remaining > 0:
             self._loop.schedule(
                 self._control.tick_interval_s,

@@ -136,6 +136,7 @@ def run_scenario(
     check_invariants: bool = False,
     selection_policy=None,
     engine=None,
+    trace=None,
 ) -> LoadTestReport:
     """Inflate a scenario against a measurement table and run it.
 
@@ -156,6 +157,11 @@ def run_scenario(
         engine: Execution engine override, forwarded to
             :class:`~repro.service.simulation.engine.ServingSimulator`
             (``None`` keeps the simulator's own default resolution).
+        trace: Optional trace sink: a
+            :class:`~repro.obs.trace.TraceCollector` (wrapped in a
+            :class:`~repro.obs.record.SimTraceRecorder` automatically)
+            or an already-built recorder.  Strictly opt-in — the report
+            and its digest are bit-identical with or without one.
     """
     cluster = build_replay_cluster(
         measurements, dict(spec.pools), selection_policy=selection_policy
@@ -177,6 +183,11 @@ def run_scenario(
         if spec.control is not None
         else None
     )
+    recorder = trace
+    if trace is not None and not hasattr(trace, "on_finalized"):
+        from repro.obs.record import SimTraceRecorder
+
+        recorder = SimTraceRecorder(trace)
     simulator = ServingSimulator(
         cluster,
         router=spec.router,
@@ -187,6 +198,7 @@ def run_scenario(
         retry=spec.retry,
         check_invariants=check_invariants,
         control=control,
+        trace=recorder,
         seed=spec.seed,
         engine=engine,
     )

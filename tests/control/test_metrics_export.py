@@ -146,3 +146,95 @@ class TestMetricsExporter:
         # Construction subscribes nothing and publishes nothing.
         assert hub.total_published == 30
         assert not hub._hooks
+
+
+class TestRenderEdgeCases:
+    """Prometheus text-format hardening: NaN, infinities, label charset."""
+
+    def _exporter_with(self, extra):
+        exporter = MetricsExporter(TelemetryHub(window_s=10.0))
+        exporter.add_source(lambda: extra)
+        return exporter
+
+    def test_nan_samples_are_omitted(self):
+        text = self._exporter_with({"bad.sample": float("nan")}).render(1.0)
+        assert "bad_sample" not in text
+
+    def test_infinities_render_as_prometheus_inf(self):
+        text = self._exporter_with(
+            {"up.inf": float("inf"), "down.inf": float("-inf")}
+        ).render(1.0)
+        assert "up_inf +Inf" in text
+        assert "down_inf -Inf" in text
+        # Python's repr spelling must not leak into the exposition.
+        assert "up_inf inf" not in text
+
+    def test_invalid_label_characters_are_sanitized(self):
+        text = self._exporter_with(
+            {"weird label-x!": 1.0, "9starts.with.digit": 2.0}
+        ).render(1.0)
+        assert "weird_label_x_ 1" in text
+        assert "_9starts_with_digit 2" in text
+
+    def test_type_headers_are_unique(self):
+        # Two dotted labels that collapse to the same Prometheus name
+        # must not emit duplicate # TYPE headers.
+        text = self._exporter_with({"a.b": 1.0, "a_b": 2.0}).render(1.0)
+        assert text.count("# TYPE a_b gauge") == 1
+
+
+class TestMetricsSources:
+    def test_sources_merge_into_the_scrape(self):
+        exporter = MetricsExporter(TelemetryHub(window_s=10.0))
+        exporter.add_source(lambda: {"custom.counter": 3.0})
+        scraped = exporter.scrape(1.0)
+        assert scraped["custom.counter"] == 3.0
+        # Window metrics are still present alongside.
+        assert "gateway.n" in scraped
+
+    def test_later_sources_win_on_collision(self):
+        exporter = MetricsExporter(TelemetryHub(window_s=10.0))
+        exporter.add_source(lambda: {"k": 1.0})
+        exporter.add_source(lambda: {"k": 2.0})
+        assert exporter.scrape(1.0)["k"] == 2.0
+
+    def test_trace_collector_plugs_in_as_a_source(self):
+        from repro.obs import Span, Trace, TraceCollector
+
+        collector = TraceCollector()
+        collector.add_trace(
+            Trace(
+                request_id="r1",
+                spans=[Span(name="request", start_s=0.0, end_s=1.0)],
+            )
+        )
+        exporter = MetricsExporter(TelemetryHub(window_s=10.0))
+        exporter.add_source(collector.metrics)
+        scraped = exporter.scrape(1.0)
+        assert scraped["trace.requests_total"] == 1.0
+        assert scraped["trace.outcome.ok"] == 1.0
+        text = exporter.render(1.0)
+        assert "trace_requests_total 1" in text
+
+    def test_control_plane_counters_plug_in_as_a_source(self):
+        from repro.service.control import ControlPlane, ControlSpec, SLOSpec
+
+        plane = ControlPlane.from_spec(
+            ControlSpec(
+                window_s=8.0,
+                tick_interval_s=0.5,
+                slos=(SLOSpec(name="latency", max_p95_latency_s=100.0),),
+            ),
+            seed=0,
+        )
+        plane.gray_detected_total = 2
+        metrics = plane.metrics()
+        assert metrics == {
+            "control.gray_detected_total": 2.0,
+            "control.gray_cleared_total": 0.0,
+            "control.shed_total": 0.0,
+            "control.degraded_total": 0.0,
+        }
+        exporter = MetricsExporter(TelemetryHub(window_s=10.0))
+        exporter.add_source(plane.metrics)
+        assert exporter.scrape(1.0)["control.gray_detected_total"] == 2.0

@@ -1,0 +1,17 @@
+"""Fixtures for the observability suite.
+
+Deliberately **no** autouse engine matrix here: trace *shapes* differ
+by engine (the legacy loop records rich per-attempt spans live, the
+columnar engine reconstructs coarse trees post hoc), so every test in
+this directory pins its engine explicitly instead of inheriting the
+``sim_engine`` doubling.
+"""
+
+import pytest
+
+from repro.service.simulation.scenarios import scenario_measurements
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return scenario_measurements()

@@ -1,0 +1,149 @@
+"""Critical-path analysis: stage breakdowns, request classes, tail blame."""
+
+import pytest
+
+from repro.obs import (
+    Span,
+    Trace,
+    TraceCollector,
+    aggregate_breakdown,
+    breakdown,
+    format_breakdown_table,
+    request_class,
+    tail_attribution,
+)
+
+
+def _fast(request_id, *, arrival=0.0, queue=0.1, leg=0.5, retries=0):
+    spans = [
+        Span(
+            name="request",
+            start_s=arrival,
+            end_s=arrival + queue + leg,
+            attrs={"tier": 0.05, "escalated": False, "retries": retries},
+        ),
+        Span(name="queue-wait", start_s=arrival, end_s=arrival + queue),
+        Span(
+            name="leg",
+            start_s=arrival + queue,
+            end_s=arrival + queue + leg,
+            attrs={"version": "fast", "leg": "fast"},
+        ),
+    ]
+    return Trace(request_id=request_id, spans=spans)
+
+
+def _escalated(request_id, *, arrival=0.0):
+    spans = [
+        Span(
+            name="request",
+            start_s=arrival,
+            end_s=arrival + 2.0,
+            attrs={"tier": 0.05, "escalated": True, "retries": 0},
+        ),
+        Span(name="queue-wait", start_s=arrival, end_s=arrival + 0.1),
+        Span(
+            name="leg",
+            start_s=arrival + 0.1,
+            end_s=arrival + 0.4,
+            attrs={"version": "fast", "leg": "fast"},
+        ),
+        Span(
+            name="escalate",
+            start_s=arrival + 0.4,
+            end_s=arrival + 2.0,
+            attrs={"version": "slow", "leg": "accurate"},
+        ),
+    ]
+    return Trace(request_id=request_id, spans=spans)
+
+
+def _shed(request_id, *, arrival=0.0):
+    return Trace(
+        request_id=request_id,
+        spans=[
+            Span(
+                name="request",
+                start_s=arrival,
+                end_s=arrival,
+                status="shed",
+                attrs={"tier": 0.05, "escalated": False, "retries": 0},
+            )
+        ],
+    )
+
+
+class TestBreakdown:
+    def test_stage_seconds_sum_per_stage(self):
+        stages = breakdown(_escalated("r1"))
+        assert stages["queue-wait"] == pytest.approx(0.1)
+        assert stages["leg-fast"] == pytest.approx(0.3)
+        assert stages["leg-accurate"] == pytest.approx(1.6)
+
+    def test_failover_hop_uses_extra_latency(self):
+        trace = _fast("r1")
+        trace.spans.append(
+            Span(
+                name="failover-hop",
+                start_s=0.0,
+                end_s=0.0,
+                attrs={"home": "us", "target": "eu", "extra_latency_s": 0.2},
+            )
+        )
+        assert breakdown(trace)["failover-hop"] == pytest.approx(0.2)
+
+
+class TestRequestClass:
+    def test_basic_classes(self):
+        assert request_class(_fast("r")) == "fast"
+        assert request_class(_escalated("r")) == "escalated"
+        assert request_class(_shed("r")) == "shed"
+
+    def test_retry_suffix_and_failover_prefix(self):
+        retried = _fast("r", retries=2)
+        assert request_class(retried) == "fast+retry"
+        hopped = _fast("r2")
+        hopped.root.attrs["home_region"] = "us"
+        assert request_class(hopped) == "failover:fast"
+
+
+class TestAggregate:
+    def test_classes_sort_by_count_then_name(self):
+        collector = TraceCollector()
+        for i in range(3):
+            collector.add_trace(_fast(f"f{i}", arrival=float(i)))
+        collector.add_trace(_escalated("e0", arrival=5.0))
+        agg = aggregate_breakdown(collector)
+        assert list(agg) == ["fast", "escalated"]
+        assert agg["fast"]["count"] == 3
+        assert agg["fast"]["dominant"] == "leg-fast"
+        assert agg["escalated"]["dominant"] == "leg-accurate"
+
+    def test_table_renders_every_class(self):
+        collector = TraceCollector()
+        collector.add_trace(_fast("f0"))
+        collector.add_trace(_escalated("e0"))
+        table = format_breakdown_table(aggregate_breakdown(collector))
+        assert "fast" in table and "escalated" in table
+        assert "dominant" in table
+
+
+class TestTailAttribution:
+    def test_tail_names_the_dominant_stage(self):
+        collector = TraceCollector()
+        for i in range(19):
+            collector.add_trace(
+                _fast(f"f{i}", arrival=float(i), leg=0.1 + 0.01 * i)
+            )
+        collector.add_trace(_escalated("e0", arrival=30.0))
+        tail = tail_attribution(collector, percentile=95.0)
+        assert tail["dominant"] == "leg-accurate"
+        assert 1 <= tail["n_tail"] < 20
+        assert 0.0 < tail["dominant_share"] <= 1.0
+
+    def test_shed_requests_are_excluded(self):
+        collector = TraceCollector()
+        collector.add_trace(_fast("f0"))
+        collector.add_trace(_shed("s0", arrival=1.0))
+        tail = tail_attribution(collector, percentile=50.0)
+        assert tail["n_total"] == 1

@@ -1,0 +1,92 @@
+"""Structured logging: silent by default, rate-limited, reversible."""
+
+import logging
+
+from repro.obs.log import (
+    RateLimitedLogger,
+    disable,
+    enable,
+    get_logger,
+    get_rate_limited,
+)
+
+
+class TestDefaults:
+    def test_silent_by_default(self, capsys):
+        get_logger("test.defaults").warning("nobody should see this")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_namespaced_under_repro(self):
+        assert get_logger("x.y").name == "repro.x.y"
+        assert get_rate_limited("x.y").logger.name == "repro.x.y"
+
+
+class TestRateLimiting:
+    def test_first_n_then_every_kth(self, caplog):
+        limited = RateLimitedLogger(
+            get_logger("test.rate"), first=2, every=3
+        )
+        with caplog.at_level(logging.INFO, logger="repro.test.rate"):
+            for _ in range(9):
+                limited.info("event %d happened", 1)
+        # occurrences 1, 2 pass the "first" budget; then 3, 6, 9.
+        assert len(caplog.records) == 5
+
+    def test_rate_limited_messages_carry_the_count(self, caplog):
+        limited = RateLimitedLogger(
+            get_logger("test.count"), first=1, every=2
+        )
+        with caplog.at_level(logging.INFO, logger="repro.test.count"):
+            limited.info("thing")
+            limited.info("thing")
+        assert "rate-limited" in caplog.records[-1].getMessage()
+
+    def test_distinct_templates_have_distinct_budgets(self, caplog):
+        limited = RateLimitedLogger(
+            get_logger("test.keys"), first=1, every=100
+        )
+        with caplog.at_level(logging.INFO, logger="repro.test.keys"):
+            limited.info("alpha %s", "a")
+            limited.info("beta %s", "b")
+        assert len(caplog.records) == 2
+
+    def test_reset_restores_the_budget(self, caplog):
+        limited = RateLimitedLogger(
+            get_logger("test.reset"), first=1, every=100
+        )
+        with caplog.at_level(logging.INFO, logger="repro.test.reset"):
+            limited.info("thing")
+            limited.info("thing")
+            limited.reset()
+            limited.info("thing")
+        assert len(caplog.records) == 2
+
+
+class TestEnableDisable:
+    def test_enable_then_disable_round_trips(self, capsys):
+        try:
+            enable(logging.INFO)
+            get_logger("test.enabled").info("visible line")
+            captured = capsys.readouterr()
+            assert "visible line" in captured.err
+        finally:
+            disable()
+        get_logger("test.enabled").info("hidden again")
+        captured = capsys.readouterr()
+        assert captured.err == ""
+
+    def test_enable_is_idempotent(self):
+        try:
+            enable(logging.INFO)
+            enable(logging.DEBUG)
+            root = logging.getLogger("repro")
+            streams = [
+                h
+                for h in root.handlers
+                if not isinstance(h, logging.NullHandler)
+            ]
+            assert len(streams) == 1
+        finally:
+            disable()

@@ -1,0 +1,144 @@
+"""The span model: deterministic ids, digests, and the JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, SpanEvent, Trace, TraceCollector
+from repro.obs.trace import span_id_for, trace_id_for
+
+
+def _trace(request_id="r1", *, node=None):
+    root = Span(
+        name="request",
+        start_s=0.0,
+        end_s=1.5,
+        attrs={"tier": 0.05, "escalated": True, "retries": 0},
+    )
+    leg = Span(
+        name="leg",
+        start_s=0.1,
+        end_s=1.5,
+        attrs={"version": "fast", "leg": "fast"},
+        events=[SpanEvent(0.4, "fault", "gray-slow")],
+    )
+    if node is not None:
+        leg.attrs["node"] = node
+    return Trace(request_id=request_id, spans=[root, leg])
+
+
+class TestIds:
+    def test_trace_id_is_a_pure_function_of_the_request_id(self):
+        assert trace_id_for("load_000001") == trace_id_for("load_000001")
+        assert trace_id_for("load_000001") != trace_id_for("load_000002")
+        assert len(trace_id_for("x")) == 16
+
+    def test_span_ids_depend_on_request_and_position(self):
+        assert span_id_for("r", 0) != span_id_for("r", 1)
+        assert span_id_for("r", 0) != span_id_for("q", 0)
+
+    def test_seal_assigns_ids_and_parent_links(self):
+        trace = _trace().seal()
+        assert trace.trace_id == trace_id_for("r1")
+        assert trace.spans[0].span_id == span_id_for("r1", 0)
+        assert trace.spans[0].parent_id is None
+        assert trace.spans[1].parent_id == trace.spans[0].span_id
+
+
+class TestDigest:
+    def test_digest_is_stable_across_collectors(self):
+        a, b = TraceCollector(), TraceCollector()
+        a.add_trace(_trace())
+        b.add_trace(_trace())
+        assert a.digest() == b.digest()
+
+    def test_node_attribute_is_digest_excluded(self):
+        """Node ids come from a process-global counter; two processes
+        recording the same run disagree on them, so they cannot
+        participate in the digest."""
+        a, b = TraceCollector(), TraceCollector()
+        a.add_trace(_trace(node="fast#0"))
+        b.add_trace(_trace(node="fast#7"))
+        assert a.digest() == b.digest()
+
+    def test_any_other_attribute_changes_the_digest(self):
+        a, b = TraceCollector(), TraceCollector()
+        a.add_trace(_trace())
+        changed = _trace()
+        changed.spans[1].attrs["version"] = "slow"
+        b.add_trace(changed)
+        assert a.digest() != b.digest()
+
+    def test_run_events_participate(self):
+        a, b = TraceCollector(), TraceCollector()
+        a.add_run_event(1.0, "fault:gray", "detail")
+        b.add_run_event(1.0, "fault:gray", "other")
+        assert a.digest() != b.digest()
+
+
+class TestJsonlRoundTrip:
+    def test_export_load_preserves_everything(self, tmp_path):
+        collector = TraceCollector()
+        collector.add_trace(_trace("r1"))
+        collector.add_trace(_trace("r2"))
+        collector.add_run_event(2.0, "control:shed", "over budget", "us")
+        path = tmp_path / "run.jsonl"
+        collector.export_jsonl(path)
+        loaded = TraceCollector.load_jsonl(path)
+        assert loaded.digest() == collector.digest()
+        assert len(loaded) == 2
+        assert loaded.run_events == collector.run_events
+        assert loaded.trace_for("r2").root.attrs["tier"] == 0.05
+
+    def test_truncated_file_is_rejected(self, tmp_path):
+        collector = TraceCollector()
+        collector.add_trace(_trace("r1"))
+        collector.add_trace(_trace("r2"))
+        path = tmp_path / "run.jsonl"
+        collector.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="digest mismatch"):
+            TraceCollector.load_jsonl(path)
+
+    def test_bad_header_is_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="bad header"):
+            TraceCollector.load_jsonl(path)
+
+
+class TestMetricsAndReplay:
+    def test_counters(self):
+        collector = TraceCollector()
+        collector.add_trace(_trace("r1"))
+        shed = Trace(
+            request_id="r2",
+            spans=[Span(name="request", start_s=0.5, end_s=0.5, status="shed")],
+        )
+        collector.add_trace(shed)
+        metrics = collector.metrics()
+        assert metrics["trace.requests_total"] == 2.0
+        assert metrics["trace.spans_completed"] == 3.0
+        assert metrics["trace.outcome.ok"] == 1.0
+        assert metrics["trace.outcome.shed"] == 1.0
+        assert metrics["trace.spans_open"] == 0.0
+
+    def test_arrival_times_are_sorted_root_starts(self):
+        collector = TraceCollector()
+        late = _trace("r-late")
+        for span in late.spans:
+            span.start_s += 3.0
+            span.end_s += 3.0
+        collector.add_trace(late)
+        collector.add_trace(_trace("r-early"))
+        assert collector.arrival_times() == [0.0, 3.0]
+
+    def test_to_arrivals_replays_the_stream(self):
+        import numpy as np
+
+        collector = TraceCollector()
+        collector.add_trace(_trace("r1"))
+        arrivals = collector.to_arrivals()
+        times = arrivals.times(1, np.random.default_rng(0))
+        assert list(times) == [0.0]
